@@ -1,0 +1,110 @@
+// Benchmarks: one per table and figure of the paper's evaluation (see
+// DESIGN.md §3). Each benchmark regenerates its table under a reduced
+// quick profile and reports the headline metric so `go test -bench=.`
+// doubles as a smoke reproduction. Full-scale tables come from
+// `go run ./cmd/dapper-experiments -exp <id> -profile full`.
+package dapper_test
+
+import (
+	"testing"
+
+	"dapper/internal/dram"
+	"dapper/internal/exp"
+)
+
+// benchProfile is a trimmed quick profile sized so every benchmark
+// completes in seconds.
+func benchProfile() exp.Profile {
+	p := exp.Quick()
+	p.Name = "bench"
+	p.Workloads = p.Workloads[:4]
+	p.SweepWorkloads = p.SweepWorkloads[:2]
+	p.NRHSweep = []uint32{125, 500}
+	p.Warmup = dram.US(60)
+	p.Measure = dram.US(250)
+	p.DapperWarmup = dram.US(60)
+	p.DapperMeasure = dram.US(500)
+	return p
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	g, err := exp.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		tb, err := g(p)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1: normalized performance of the
+// scalable trackers under tailored Perf-Attacks at NRH=500.
+func BenchmarkFig1(b *testing.B) { runExp(b, "fig1") }
+
+// BenchmarkFig3 regenerates Figure 3: the per-workload view.
+func BenchmarkFig3(b *testing.B) { runExp(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4: attack sensitivity to NRH.
+func BenchmarkFig4(b *testing.B) { runExp(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5: LLC-size sensitivity with eight
+// channels.
+func BenchmarkFig5(b *testing.B) { runExp(b, "fig5") }
+
+// BenchmarkTable2 regenerates Table II from Equations (1)-(5).
+func BenchmarkTable2(b *testing.B) { runExp(b, "tab2") }
+
+// BenchmarkFig9 regenerates Figure 9: DAPPER-S under Mapping-Agnostic
+// attacks.
+func BenchmarkFig9(b *testing.B) { runExp(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: DAPPER-H under Mapping-Agnostic
+// attacks.
+func BenchmarkFig10(b *testing.B) { runExp(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: DAPPER-H on benign applications.
+func BenchmarkFig11(b *testing.B) { runExp(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12: DAPPER-H threshold sensitivity.
+func BenchmarkFig12(b *testing.B) { runExp(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13: blast radius and DRFMsb.
+func BenchmarkFig13(b *testing.B) { runExp(b, "fig13") }
+
+// BenchmarkTable3 regenerates Table III: storage overheads.
+func BenchmarkTable3(b *testing.B) { runExp(b, "tab3") }
+
+// BenchmarkTable4 regenerates Table IV: energy overheads.
+func BenchmarkTable4(b *testing.B) { runExp(b, "tab4") }
+
+// BenchmarkFig14 regenerates Figure 14: BlockHammer comparison.
+func BenchmarkFig14(b *testing.B) { runExp(b, "fig14") }
+
+// BenchmarkFig15 regenerates Figure 15: PARA/PrIDE comparison (benign).
+func BenchmarkFig15(b *testing.B) { runExp(b, "fig15") }
+
+// BenchmarkFig16 regenerates Figure 16: PARA/PrIDE under Perf-Attacks.
+func BenchmarkFig16(b *testing.B) { runExp(b, "fig16") }
+
+// BenchmarkFig17 regenerates Figure 17: PRAC comparison.
+func BenchmarkFig17(b *testing.B) { runExp(b, "fig17") }
+
+// BenchmarkSecurityH regenerates the §VI-C security analysis
+// (Equations 6-7 plus Monte-Carlo probes).
+func BenchmarkSecurityH(b *testing.B) { runExp(b, "sec-h") }
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (cycles per
+// second of host time) on the standard four-core attack scenario, for
+// tracking the engine itself.
+func BenchmarkSimulatorThroughput(b *testing.B) { runExp(b, "fig11") }

@@ -1,0 +1,72 @@
+// Command dapper-attack explores the security side of the paper: the
+// Mapping-Capturing analysis of DAPPER-S (Table II), the DAPPER-H
+// success probability (Equations 6-7), and live Monte-Carlo probes
+// against both trackers.
+//
+// Usage:
+//
+//	dapper-attack                       # analytic tables + Monte-Carlo
+//	dapper-attack -treset 18            # custom reset period (us)
+//	dapper-attack -groups 4096 -trials 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dapper/internal/analytic"
+	"dapper/internal/attack"
+	"dapper/internal/core"
+	"dapper/internal/dram"
+)
+
+func main() {
+	tresetUS := flag.Float64("treset", 0, "extra DAPPER-S reset period to analyze (us, 0 = table only)")
+	groups := flag.Int("groups", 8192, "row groups per table for the DAPPER-H analysis")
+	trials := flag.Int("trials", 2500, "attack trials per tREFW for the DAPPER-H analysis")
+	budget := flag.Uint64("budget", 4_000_000, "Monte-Carlo activation budget")
+	seed := flag.Uint64("seed", 1, "Monte-Carlo seed")
+	flag.Parse()
+
+	fmt.Println("DAPPER-S Mapping-Capturing attack (Equations 1-5, Table II)")
+	fmt.Printf("  %-8s %-12s %-12s\n", "treset", "iterations", "attack time")
+	rows := []float64{36, 24, 12}
+	if *tresetUS > 0 {
+		rows = append(rows, *tresetUS)
+	}
+	for _, us := range rows {
+		r := analytic.AnalyzeS(analytic.DefaultSParams(us * 1000))
+		fmt.Printf("  %-8s %-12.1f %.1fus\n", fmt.Sprintf("%.0fus", us), r.Iterations, r.AttackTimeNS/1000)
+	}
+
+	fmt.Println()
+	h := analytic.AnalyzeH(analytic.HParams{NumGroups: *groups, Trials: *trials})
+	fmt.Println("DAPPER-H Mapping-Capturing attack (Equations 6-7)")
+	fmt.Printf("  groups per table:    %d\n", *groups)
+	fmt.Printf("  trials per tREFW:    %d\n", *trials)
+	fmt.Printf("  per-trial success:   %.3g\n", h.PerTrialProb)
+	fmt.Printf("  per-tREFW success:   %.3g\n", h.SuccessProb)
+	fmt.Printf("  prevention rate:     %.4f%%\n", h.Prevention*100)
+
+	fmt.Println()
+	fmt.Println("Monte-Carlo probes against live trackers (scaled 2048-row banks)")
+	geo := dram.Scaled(2048)
+	ds, err := core.NewDapperS(0, core.Config{Geometry: geo, NRH: 500, Seed: *seed})
+	if err != nil {
+		panic(err)
+	}
+	sRes := attack.MappingCaptureS(ds, geo, *budget)
+	fmt.Printf("  DAPPER-S (static mapping): captured=%v after %d probes (%d ACTs)\n",
+		sRes.Captured, sRes.Trials, sRes.ACTs)
+	if sRes.Captured {
+		fmt.Printf("    target %v shares a group with row %d of bank group %d\n",
+			sRes.TargetLoc.Row, sRes.PartnerLoc.Row, sRes.PartnerLoc.BankGroup)
+	}
+	dh, err := core.NewDapperH(0, core.Config{Geometry: geo, NRH: 500, Seed: *seed})
+	if err != nil {
+		panic(err)
+	}
+	hRes := attack.MappingCaptureH(dh, geo, *seed^0xC0FFEE, *budget)
+	fmt.Printf("  DAPPER-H (double hashing): captured=%v after %d trials (%d ACTs)\n",
+		hRes.Captured, hRes.Trials, hRes.ACTs)
+}

@@ -1,0 +1,65 @@
+// Command dapper-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dapper-experiments -exp fig11            # one experiment, quick profile
+//	dapper-experiments -exp all -profile full
+//	dapper-experiments -list
+//
+// Experiment ids follow DESIGN.md §3 (fig1..fig17, tab1..tab4, sec-h).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dapper/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	profile := flag.String("profile", "quick", "quick or full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.Order() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var p exp.Profile
+	switch *profile {
+	case "quick":
+		p = exp.Quick()
+	case "full":
+		p = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q (quick|full)\n", *profile)
+		os.Exit(2)
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = exp.Order()
+	}
+	fmt.Printf("profile: %s (%d workloads, sweep %v)\n\n", p.Name, len(p.Workloads), p.NRHSweep)
+	for _, id := range ids {
+		g, err := exp.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tb, err := g(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		tb.AddNote("generated in %.1fs under the %s profile", time.Since(start).Seconds(), p.Name)
+		tb.Fprint(os.Stdout)
+	}
+}

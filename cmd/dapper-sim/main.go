@@ -1,0 +1,153 @@
+// Command dapper-sim runs one simulation: a workload co-running with an
+// optional attacker under a chosen RowHammer tracker, and prints IPC,
+// DRAM and tracker statistics.
+//
+// Usage:
+//
+//	dapper-sim -workload 429.mcf -tracker dapper-h -attack refresh -nrh 500
+//	dapper-sim -workload ycsb_a -tracker comet -attack rat-thrash
+//	dapper-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dapper/internal/attack"
+	"dapper/internal/core"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/trackers/abacus"
+	"dapper/internal/trackers/blockhammer"
+	"dapper/internal/trackers/comet"
+	"dapper/internal/trackers/hydra"
+	"dapper/internal/trackers/para"
+	"dapper/internal/trackers/prac"
+	"dapper/internal/trackers/start"
+	"dapper/internal/workloads"
+)
+
+func trackerFactory(name string, geo dram.Geometry, nrh uint32) (sim.TrackerFactory, error) {
+	switch name {
+	case "none":
+		return sim.NopFactory, nil
+	case "dapper-s":
+		return func(ch int) rh.Tracker {
+			d, err := core.NewDapperS(ch, core.Config{Geometry: geo, NRH: nrh})
+			if err != nil {
+				panic(err)
+			}
+			return d
+		}, nil
+	case "dapper-h":
+		return func(ch int) rh.Tracker {
+			d, err := core.NewDapperH(ch, core.Config{Geometry: geo, NRH: nrh})
+			if err != nil {
+				panic(err)
+			}
+			return d
+		}, nil
+	case "hydra":
+		return func(ch int) rh.Tracker { return hydra.New(ch, hydra.Config{Geometry: geo, NRH: nrh}) }, nil
+	case "start":
+		return func(ch int) rh.Tracker { return start.New(ch, start.Config{Geometry: geo, NRH: nrh}) }, nil
+	case "comet":
+		return func(ch int) rh.Tracker { return comet.New(ch, comet.Config{Geometry: geo, NRH: nrh}) }, nil
+	case "abacus":
+		return func(ch int) rh.Tracker { return abacus.New(ch, abacus.Config{Geometry: geo, NRH: nrh}) }, nil
+	case "blockhammer":
+		return func(ch int) rh.Tracker { return blockhammer.New(ch, blockhammer.Config{Geometry: geo, NRH: nrh}) }, nil
+	case "para":
+		return func(ch int) rh.Tracker { return para.NewPARA(ch, geo, nrh, rh.VRR1, 0) }, nil
+	case "pride":
+		return func(ch int) rh.Tracker { return para.NewPrIDE(ch, geo, nrh, rh.VRR1, 0) }, nil
+	case "prac":
+		return func(ch int) rh.Tracker { return prac.New(ch, prac.Config{Geometry: geo, NRH: nrh}) }, nil
+	}
+	return nil, fmt.Errorf("unknown tracker %q", name)
+}
+
+func attackKind(name string) (attack.Kind, error) {
+	for _, k := range []attack.Kind{attack.None, attack.CacheThrash, attack.HydraConflict,
+		attack.StreamingSweep, attack.RATThrash, attack.DistinctRows, attack.Refresh} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown attack %q", name)
+}
+
+func main() {
+	wl := flag.String("workload", "429.mcf", "benign workload name")
+	tr := flag.String("tracker", "dapper-h", "tracker: none|dapper-s|dapper-h|hydra|start|comet|abacus|blockhammer|para|pride|prac")
+	atk := flag.String("attack", "none", "attack on the 4th core: none|cache-thrash|hydra-conflict|streaming|rat-thrash|distinct-rows|refresh")
+	nrh := flag.Uint("nrh", 500, "RowHammer threshold")
+	measureUS := flag.Float64("measure", 400, "measurement window in microseconds")
+	warmupUS := flag.Float64("warmup", 100, "warmup window in microseconds")
+	rowsPerBank := flag.Uint("rows-per-bank", 0, "override rows per bank (0 = full 64K)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-16s %-11s APKI=%.0f RBMPKI=%.1f\n", w.Name, w.Suite, w.AccessPKI, w.RBMPKI)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	geo := dram.Baseline()
+	if *rowsPerBank != 0 {
+		geo = dram.Scaled(uint32(*rowsPerBank))
+	}
+	factory, err := trackerFactory(*tr, geo, uint32(*nrh))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kind, err := attackKind(*atk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var traces = sim.BenignTraces(w, 3, geo, 1)
+	traces = append(traces, attack.MustTrace(attack.Config{Geometry: geo, NRH: uint32(*nrh), Kind: kind}))
+
+	res, err := sim.Run(sim.Config{
+		Geometry: geo,
+		Traces:   traces,
+		Tracker:  factory,
+		Warmup:   dram.US(*warmupUS),
+		Measure:  dram.US(*measureUS),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s tracker=%s attack=%s NRH=%d window=%.0fus\n",
+		w.Name, res.TrackerNames[0], kind, *nrh, *measureUS)
+	for i, ipc := range res.IPC {
+		role := "benign"
+		if i == 3 {
+			role = "attacker"
+		}
+		fmt.Printf("  core %d (%s): IPC %.3f (%d instructions)\n", i, role, ipc, res.Instructions[i])
+	}
+	c := res.Counters
+	fmt.Printf("  DRAM: ACT=%d RD=%d WR=%d REF=%d VRR=%d RFMsb=%d DRFMsb=%d bulk=%d (rows %d)\n",
+		c.ACT, c.RD, c.WR, c.REF, c.VRR, c.RFMsb, c.DRFMsb, c.BulkEvents, c.BulkRows)
+	fmt.Printf("  counter traffic: reads=%d writes=%d\n", c.InjRD, c.InjWR)
+	ts := res.Tracker
+	fmt.Printf("  tracker: activations=%d mitigations=%d victim-refreshes=%d bulk-resets=%d throttled=%d\n",
+		ts.Activations, ts.Mitigations, ts.VictimRefreshes, ts.BulkResets, ts.Throttled)
+	fmt.Printf("  LLC hit rate: %.3f  row hits: %d  row misses: %d\n",
+		res.LLCHitRate, res.Mem.RowHits, res.Mem.RowMisses)
+}

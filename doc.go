@@ -1,0 +1,17 @@
+// Package dapper is a from-scratch Go reproduction of "DAPPER: A
+// Performance-Attack-Resilient Tracker for RowHammer Defense" (Woo and
+// Nair, HPCA 2025).
+//
+// The module contains the DAPPER-S and DAPPER-H trackers
+// (internal/core), a DDR5 memory-system simulator (internal/dram,
+// internal/mem, internal/cache, internal/cpu), baseline RowHammer
+// mitigations (internal/trackers/...), Performance-Attack generators
+// (internal/attack), analytic security and storage models
+// (internal/analytic), an energy model (internal/energy) and an
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation (internal/exp, cmd/dapper-experiments,
+// bench_test.go).
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package dapper

@@ -1,0 +1,146 @@
+// Package analytic implements the paper's closed-form security and cost
+// models: the Mapping-Capturing analysis of DAPPER-S (Equations 1-5,
+// Table II), the DAPPER-H success-probability analysis (Equations 6-7),
+// and the storage/area comparison (Table III).
+package analytic
+
+import "math"
+
+// SParams parameterises the DAPPER-S Mapping-Capturing analysis (§V-D).
+type SParams struct {
+	TResetNS float64 // reset/rekey period treset, in ns
+	TRCNS    float64 // row cycle time, ns (48 in the paper)
+	// ACTIntervalNS is the effective time between attacker activations
+	// on a channel. The paper's prose quotes tRRD_S = 2.5ns, but
+	// Table II's numbers are only consistent with ~3.75ns (the ACT rate
+	// derated by refresh and command-bus overheads); we default to the
+	// value that reproduces the published table and expose the knob.
+	ACTIntervalNS float64
+	NM            uint32 // mitigation threshold (NRH/2)
+	NumGroups     int    // row groups in the randomized space (8K)
+}
+
+// DefaultSParams returns the paper's configuration for a given treset.
+func DefaultSParams(tresetNS float64) SParams {
+	return SParams{
+		TResetNS:      tresetNS,
+		TRCNS:         48,
+		ACTIntervalNS: 3.75,
+		NM:            250,
+		NumGroups:     8192,
+	}
+}
+
+// SResult is one row of Table II.
+type SResult struct {
+	TLeftNS      float64 // Equation (1): time left after charging the target
+	ACTMax       float64 // Equation (2): probe activations within tleft
+	SuccessProb  float64 // Equation (3)
+	Iterations   float64 // Equation (4): expected attack iterations
+	AttackTimeNS float64 // Equation (5): expected time to capture a pair
+}
+
+// AnalyzeS evaluates Equations (1)-(5).
+func AnalyzeS(p SParams) SResult {
+	var r SResult
+	// Equation (1): tleft = treset - tRC*(NM-1).
+	r.TLeftNS = p.TResetNS - p.TRCNS*float64(p.NM-1)
+	if r.TLeftNS < 0 {
+		r.TLeftNS = 0
+	}
+	// Equation (2): ACTmax = tleft / ACT interval.
+	r.ACTMax = r.TLeftNS / p.ACTIntervalNS
+	// Equation (3): PS = 1 - (1-p)^ACTmax with p = 1/Ngroups.
+	pg := 1.0 / float64(p.NumGroups)
+	r.SuccessProb = 1 - math.Pow(1-pg, r.ACTMax)
+	// Equation (4): iterations = 1/PS.
+	if r.SuccessProb > 0 {
+		r.Iterations = 1 / r.SuccessProb
+	} else {
+		r.Iterations = math.Inf(1)
+	}
+	// Equation (5): attack time = treset * iterations.
+	r.AttackTimeNS = p.TResetNS * r.Iterations
+	return r
+}
+
+// Table2Row is one published row of Table II for comparison.
+type Table2Row struct {
+	TResetUS   float64
+	Iterations float64
+	AttackTime string // as printed in the paper
+}
+
+// Table2Paper returns the published Table II values.
+func Table2Paper() []Table2Row {
+	return []Table2Row{
+		{36, 1.8, "64us"},
+		{24, 3, "71us"},
+		{12, 630.6, "7.6ms"},
+	}
+}
+
+// HParams parameterises the DAPPER-H analysis (§VI-C).
+type HParams struct {
+	NumGroups int // N: row groups per table (8K)
+	Trials    int // T: attack trials per tREFW (~2.5K)
+}
+
+// DefaultHParams returns the paper's configuration: trials bounded by
+// the 616K single-bank activations per tREFW divided by the NM-ish cost
+// of one trial (§VI-C: ~2.5K trials).
+func DefaultHParams() HParams {
+	return HParams{NumGroups: 8192, Trials: 2500}
+}
+
+// HResult reports Equations (6)-(7).
+type HResult struct {
+	PerTrialProb float64 // Equation (6)
+	SuccessProb  float64 // Equation (7): over all trials in one tREFW
+	Prevention   float64 // 1 - SuccessProb
+}
+
+// AnalyzeH evaluates Equations (6)-(7): the probability that two random
+// guesses land in both of the target's groups, per trial and per tREFW.
+func AnalyzeH(p HParams) HResult {
+	n := float64(p.NumGroups)
+	oneSide := 1 - math.Pow(1-1/n, 2)
+	per := oneSide * oneSide
+	ps := 1 - math.Pow(1-per, float64(p.Trials))
+	return HResult{PerTrialProb: per, SuccessProb: ps, Prevention: 1 - ps}
+}
+
+// StorageRow is one row of Table III: per-32GB-DDR5 storage and
+// estimated die area.
+type StorageRow struct {
+	Name       string
+	SRAMKB     float64
+	CAMKB      float64
+	DieAreaMM2 float64
+}
+
+// Table3 returns the storage comparison exactly as published (§VI-H,
+// Table III); the per-structure derivations appear in each tracker
+// package and in core.Config.StorageBytesH, which independently
+// reproduces DAPPER-H's 96KB.
+func Table3() []StorageRow {
+	return []StorageRow{
+		{Name: "Hydra", SRAMKB: 56.5, CAMKB: 0, DieAreaMM2: 0.044},
+		{Name: "CoMeT", SRAMKB: 112, CAMKB: 23, DieAreaMM2: 0.139},
+		{Name: "START", SRAMKB: 4, CAMKB: 0, DieAreaMM2: 0.003},
+		{Name: "ABACUS", SRAMKB: 19.3, CAMKB: 7.5, DieAreaMM2: 0.038},
+		{Name: "DAPPER-H", SRAMKB: 96, CAMKB: 0, DieAreaMM2: 0.075},
+	}
+}
+
+// MaxActivationsPerBank returns the tRC-limited activations one bank can
+// see in a refresh window (the paper's 616K for tREFW=32ms, tRC=48ns).
+func MaxActivationsPerBank(tREFWms, tRCns float64) float64 {
+	return tREFWms * 1e6 / tRCns
+}
+
+// MaxActivationsPerChannel returns the tRRD-limited activations per rank
+// in a refresh window (the paper's 11.8M at 2.71ns effective).
+func MaxActivationsPerChannel(tREFWms, actIntervalNS float64) float64 {
+	return tREFWms * 1e6 / actIntervalNS
+}

@@ -1,0 +1,141 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+// Table II reproduction: the three published rows.
+func TestTable2Row36us(t *testing.T) {
+	r := AnalyzeS(DefaultSParams(36_000))
+	if !approx(r.Iterations, 1.8, 0.15) {
+		t.Fatalf("iterations = %.2f, want ~1.8", r.Iterations)
+	}
+	if !approx(r.AttackTimeNS, 64_000, 0.15) {
+		t.Fatalf("attack time = %.0fns, want ~64us", r.AttackTimeNS)
+	}
+}
+
+func TestTable2Row24us(t *testing.T) {
+	r := AnalyzeS(DefaultSParams(24_000))
+	if !approx(r.Iterations, 3, 0.15) {
+		t.Fatalf("iterations = %.2f, want ~3", r.Iterations)
+	}
+	if !approx(r.AttackTimeNS, 71_000, 0.20) {
+		t.Fatalf("attack time = %.0fns, want ~71us", r.AttackTimeNS)
+	}
+}
+
+func TestTable2Row12us(t *testing.T) {
+	r := AnalyzeS(DefaultSParams(12_000))
+	if !approx(r.Iterations, 630.6, 0.10) {
+		t.Fatalf("iterations = %.1f, want ~630.6", r.Iterations)
+	}
+	if !approx(r.AttackTimeNS, 7_600_000, 0.10) {
+		t.Fatalf("attack time = %.2fms, want ~7.6ms", r.AttackTimeNS/1e6)
+	}
+}
+
+func TestEquation1(t *testing.T) {
+	p := DefaultSParams(36_000)
+	r := AnalyzeS(p)
+	// tleft = 36000 - 48*249 = 24048ns.
+	if !approx(r.TLeftNS, 24048, 0.001) {
+		t.Fatalf("tleft = %.0f", r.TLeftNS)
+	}
+}
+
+func TestTLeftClampsAtZero(t *testing.T) {
+	p := DefaultSParams(1_000) // shorter than the charge time
+	r := AnalyzeS(p)
+	if r.TLeftNS != 0 || r.SuccessProb != 0 {
+		t.Fatalf("tleft = %v, PS = %v", r.TLeftNS, r.SuccessProb)
+	}
+	if !math.IsInf(r.Iterations, 1) {
+		t.Fatal("iterations should be infinite when no probe time remains")
+	}
+}
+
+func TestShorterResetHarderAttack(t *testing.T) {
+	// The monotonicity Table II shows: shorter treset => more iterations.
+	prev := 0.0
+	for _, us := range []float64{36, 24, 12} {
+		r := AnalyzeS(DefaultSParams(us * 1000))
+		if r.Iterations <= prev {
+			t.Fatalf("iterations not increasing at treset=%vus", us)
+		}
+		prev = r.Iterations
+	}
+}
+
+func TestEquation6PerTrial(t *testing.T) {
+	r := AnalyzeH(DefaultHParams())
+	// p = (1-(1-1/8192)^2)^2 ~ (2/8192)^2 = 5.96e-8.
+	if !approx(r.PerTrialProb, 5.96e-8, 0.02) {
+		t.Fatalf("per-trial p = %.3g", r.PerTrialProb)
+	}
+}
+
+func TestEquation7Prevention(t *testing.T) {
+	// Paper: DAPPER-H prevents captures with 99.99% probability per
+	// tREFW.
+	r := AnalyzeH(DefaultHParams())
+	if r.Prevention < 0.9998 {
+		t.Fatalf("prevention = %.6f, want >= 99.99%%", r.Prevention)
+	}
+	if r.SuccessProb > 2e-4 {
+		t.Fatalf("success = %.3g, want ~1.5e-4", r.SuccessProb)
+	}
+}
+
+func TestHSmallerTablesWeaker(t *testing.T) {
+	big := AnalyzeH(HParams{NumGroups: 8192, Trials: 2500})
+	small := AnalyzeH(HParams{NumGroups: 256, Trials: 2500})
+	if small.SuccessProb <= big.SuccessProb {
+		t.Fatal("fewer groups must be easier to attack")
+	}
+}
+
+func TestTable3Published(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 5 {
+		t.Fatalf("table has %d rows", len(rows))
+	}
+	byName := map[string]StorageRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["DAPPER-H"].SRAMKB != 96 {
+		t.Fatal("DAPPER-H SRAM must be 96KB")
+	}
+	if byName["DAPPER-H"].CAMKB != 0 {
+		t.Fatal("DAPPER-H uses no CAM")
+	}
+	if byName["CoMeT"].CAMKB != 23 {
+		t.Fatal("CoMeT CAM")
+	}
+	if byName["START"].SRAMKB != 4 {
+		t.Fatal("START SRAM")
+	}
+}
+
+func TestActivationBudgets(t *testing.T) {
+	// Paper §II-A: ~616K ACTs per bank and ~11.8M per rank in tREFW.
+	if got := MaxActivationsPerBank(32, 48); !approx(got, 666_666, 0.1) {
+		t.Fatalf("per-bank ACTs = %.0f", got)
+	}
+	if got := MaxActivationsPerChannel(32, 2.71); !approx(got, 11_808_118, 0.02) {
+		t.Fatalf("per-rank ACTs = %.0f", got)
+	}
+}
+
+func TestTable2PaperRows(t *testing.T) {
+	rows := Table2Paper()
+	if len(rows) != 3 || rows[2].Iterations != 630.6 {
+		t.Fatalf("published rows wrong: %+v", rows)
+	}
+}

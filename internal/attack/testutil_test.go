@@ -1,0 +1,26 @@
+package attack
+
+import (
+	"testing"
+
+	"dapper/internal/core"
+	"dapper/internal/dram"
+)
+
+func mustDapperS(t *testing.T, g dram.Geometry) *core.DapperS {
+	t.Helper()
+	d, err := core.NewDapperS(0, core.Config{Geometry: g, NRH: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustDapperH(t *testing.T, g dram.Geometry) *core.DapperH {
+	t.Helper()
+	d, err := core.NewDapperH(0, core.Config{Geometry: g, NRH: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,224 @@
+// Package cache implements a set-associative cache model with LRU and
+// random replacement. It backs three structures from the paper: the
+// shared last-level cache (8MB, 16-way, 64B lines, Table I), Hydra's Row
+// Counter Cache (4K entries per rank, 32-way, random eviction, §III-A),
+// and START's reserved-LLC counter cache. The cache is keyed by an
+// opaque uint64 (cache-line address or row index); it tracks dirtiness
+// so evictions can generate write-back traffic.
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least-recently-used way.
+	LRU Policy = iota
+	// Random evicts a uniformly random way (Hydra's RCC policy).
+	Random
+)
+
+// Config sizes a cache.
+type Config struct {
+	Sets   int
+	Ways   int
+	Policy Policy
+	Seed   uint64 // randomness for the Random policy
+}
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit          bool
+	Evicted      bool   // a valid line was displaced
+	EvictedKey   uint64 // key of the displaced line
+	EvictedDirty bool   // displaced line needed write-back
+}
+
+type line struct {
+	key     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Cache is a set-associative cache. Not safe for concurrent use; the
+// simulator is single-threaded per system.
+type Cache struct {
+	cfg    Config
+	lines  []line // sets*ways, row-major by set
+	tick   uint64
+	rng    uint64
+	hits   uint64
+	misses uint64
+}
+
+// New returns a cache with the given configuration.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: sets (%d) and ways (%d) must be positive", cfg.Sets, cfg.Ways)
+	}
+	rng := cfg.Seed
+	if rng == 0 {
+		rng = 0x9E3779B97F4A7C15
+	}
+	return &Cache{cfg: cfg, lines: make([]line, cfg.Sets*cfg.Ways), rng: rng}, nil
+}
+
+// MustNew is New but panics on bad config.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewBySize builds an LRU cache of totalBytes capacity with the given
+// associativity and line size (e.g. the Table I LLC: 8MB, 16, 64).
+func NewBySize(totalBytes, ways, lineBytes int) (*Cache, error) {
+	if totalBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache: sizes must be positive")
+	}
+	linesTotal := totalBytes / lineBytes
+	if linesTotal < ways {
+		return nil, fmt.Errorf("cache: capacity %dB too small for %d ways", totalBytes, ways)
+	}
+	return New(Config{Sets: linesTotal / ways, Ways: ways})
+}
+
+// Sets returns the set count.
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Entries returns total line capacity.
+func (c *Cache) Entries() int { return c.cfg.Sets * c.cfg.Ways }
+
+// Hits returns the number of hits since creation (or Reset).
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses since creation (or Reset).
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+func (c *Cache) setIndex(key uint64) int {
+	// Mix before taking the modulus so structured keys (strided rows)
+	// still spread across sets.
+	h := key
+	h ^= h >> 17
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(c.cfg.Sets))
+}
+
+func (c *Cache) xorshift() uint64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.rng
+}
+
+// Access looks up key, allocating on miss, and returns what happened.
+// isWrite marks the line dirty on hit or allocation.
+func (c *Cache) Access(key uint64, isWrite bool) Result {
+	set := c.setIndex(key)
+	base := set * c.cfg.Ways
+	c.tick++
+
+	victim := -1
+	var victimUse uint64 = ^uint64(0)
+	for i := base; i < base+c.cfg.Ways; i++ {
+		ln := &c.lines[i]
+		if ln.valid && ln.key == key {
+			c.hits++
+			ln.lastUse = c.tick
+			if isWrite {
+				ln.dirty = true
+			}
+			return Result{Hit: true}
+		}
+		if !ln.valid {
+			if victim == -1 || c.lines[victim].valid {
+				victim = i
+				victimUse = 0
+			}
+			continue
+		}
+		if ln.lastUse < victimUse && (victim == -1 || c.lines[victim].valid) {
+			victim = i
+			victimUse = ln.lastUse
+		}
+	}
+	c.misses++
+
+	if c.cfg.Policy == Random && (victim == -1 || c.lines[victim].valid) {
+		victim = base + int(c.xorshift()%uint64(c.cfg.Ways))
+	}
+	if victim == -1 {
+		victim = base
+	}
+
+	res := Result{}
+	v := &c.lines[victim]
+	if v.valid {
+		res.Evicted = true
+		res.EvictedKey = v.key
+		res.EvictedDirty = v.dirty
+	}
+	*v = line{key: key, valid: true, dirty: isWrite, lastUse: c.tick}
+	return res
+}
+
+// Contains reports whether key is resident without updating recency or
+// statistics.
+func (c *Cache) Contains(key uint64) bool {
+	base := c.setIndex(key) * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops key if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(key uint64) (present, dirty bool) {
+	base := c.setIndex(key) * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].key == key {
+			d := c.lines[i].dirty
+			c.lines[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Reset invalidates every line and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.hits, c.misses, c.tick = 0, 0, 0
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+// Package cpu implements the out-of-order core model of the paper's
+// Table I system: 4GHz, 4-wide, 128-entry ROB, trace-driven, in the
+// style of Ramulator's SimpleO3 core. Non-memory instructions retire at
+// core width; memory instructions occupy a ROB entry until the memory
+// hierarchy answers, and the core stalls when the ROB fills — which is
+// how DRAM bandwidth loss (the currency of every Perf-Attack in the
+// paper) becomes IPC loss.
+package cpu
+
+import (
+	"dapper/internal/dram"
+	"dapper/internal/mem"
+)
+
+// Record is one trace step: Bubbles non-memory instructions followed by
+// one 64B memory access. NonCacheable accesses bypass the LLC (attack
+// traces use this to guarantee DRAM activations, modeling
+// flush+hammer patterns).
+type Record struct {
+	Bubbles      int
+	Addr         uint64
+	IsWrite      bool
+	NonCacheable bool
+}
+
+// Trace is an infinite instruction stream; implementations are
+// generative (seeded PRNG) so they need no storage.
+type Trace interface {
+	Next() Record
+}
+
+// Memory is the path from a core into the memory hierarchy (the system
+// wires an LLC and the memory controllers behind this interface).
+//
+// Access returns:
+//   - ok=false: the hierarchy cannot accept the request (backpressure);
+//     the core must retry next cycle.
+//   - pending=nil: the access completed synchronously (e.g. LLC hit)
+//     with the given latency.
+//   - pending!=nil: in flight; the access is complete when pending.Done
+//     and pending.DoneAt <= now.
+type Memory interface {
+	Access(now dram.Cycle, core int, req *mem.Request) (latency dram.Cycle, pending *mem.Request, ok bool)
+}
+
+// Width is the issue/retire width of the core.
+const Width = 4
+
+// ROBSize is the reorder-buffer capacity (Table I: 128 entries).
+const ROBSize = 128
+
+type robEntry struct {
+	completeAt dram.Cycle
+	pending    *mem.Request
+}
+
+// Core is one out-of-order core. Not safe for concurrent use.
+type Core struct {
+	id    int
+	trace Trace
+	memIf Memory
+
+	rob   [ROBSize]robEntry
+	head  int // oldest entry
+	count int
+
+	// Trace cursor: bubbles still to dispatch before the next memory
+	// access.
+	bubbles   int
+	memRecord Record
+	haveMem   bool
+
+	// Pending memory access that could not be issued (backpressure).
+	stalledReq *mem.Request
+
+	pool []*mem.Request
+
+	retired   uint64
+	cycles    uint64
+	memReads  uint64
+	memWrites uint64
+	stallCyc  uint64
+}
+
+// New builds a core reading from trace and accessing memory through m.
+func New(id int, trace Trace, m Memory) *Core {
+	return &Core{id: id, trace: trace, memIf: m}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Retired returns instructions retired so far.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Cycles returns cycles stepped so far.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// IPC returns retired instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.retired) / float64(c.cycles)
+}
+
+// MemReads and MemWrites return issued access counts.
+func (c *Core) MemReads() uint64  { return c.memReads }
+func (c *Core) MemWrites() uint64 { return c.memWrites }
+
+// StallCycles returns cycles in which nothing dispatched (ROB full or
+// memory backpressure).
+func (c *Core) StallCycles() uint64 { return c.stallCyc }
+
+// ResetStats zeroes the performance counters (used after warmup).
+func (c *Core) ResetStats() {
+	c.retired, c.cycles, c.memReads, c.memWrites, c.stallCyc = 0, 0, 0, 0, 0
+}
+
+func (c *Core) getReq() *mem.Request {
+	if n := len(c.pool); n > 0 {
+		r := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		*r = mem.Request{}
+		return r
+	}
+	return &mem.Request{}
+}
+
+func (c *Core) putReq(r *mem.Request) {
+	if len(c.pool) < 256 {
+		c.pool = append(c.pool, r)
+	}
+}
+
+// Step advances the core one cycle: retire up to Width completed
+// instructions, then dispatch up to Width new ones.
+func (c *Core) Step(now dram.Cycle) {
+	c.cycles++
+
+	// Retire.
+	for n := 0; n < Width && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if e.pending != nil {
+			if !e.pending.Done || e.pending.DoneAt > now {
+				break
+			}
+			c.putReq(e.pending)
+			e.pending = nil
+		} else if e.completeAt > now {
+			break
+		}
+		c.head = (c.head + 1) % ROBSize
+		c.count--
+		c.retired++
+	}
+
+	// Dispatch.
+	dispatched := 0
+	for dispatched < Width && c.count < ROBSize {
+		if c.bubbles > 0 {
+			c.rob[(c.head+c.count)%ROBSize] = robEntry{completeAt: now}
+			c.count++
+			c.bubbles--
+			dispatched++
+			continue
+		}
+		if !c.haveMem && c.stalledReq == nil {
+			rec := c.trace.Next()
+			c.bubbles = rec.Bubbles
+			c.memRecord = rec
+			c.haveMem = true
+			if c.bubbles > 0 {
+				continue
+			}
+		}
+		// Issue the memory access (possibly one stalled from earlier).
+		req := c.stalledReq
+		if req == nil {
+			req = c.getReq()
+			req.Addr = c.memRecord.Addr
+			if c.memRecord.NonCacheable {
+				req.Addr = MarkNC(req.Addr)
+			}
+			req.IsWrite = c.memRecord.IsWrite
+			req.Core = c.id
+			c.haveMem = false
+		}
+		lat, pending, ok := c.memIf.Access(now, c.id, req)
+		if !ok {
+			c.stalledReq = req
+			break
+		}
+		c.stalledReq = nil
+		if req.IsWrite {
+			c.memWrites++
+			// Posted write: retires immediately; the request object is
+			// owned by the memory system until done, so don't pool it.
+			c.rob[(c.head+c.count)%ROBSize] = robEntry{completeAt: now}
+			if pending == nil {
+				c.putReq(req)
+			}
+		} else {
+			c.memReads++
+			if pending != nil {
+				c.rob[(c.head+c.count)%ROBSize] = robEntry{pending: pending}
+			} else {
+				c.rob[(c.head+c.count)%ROBSize] = robEntry{completeAt: now + lat}
+				c.putReq(req)
+			}
+		}
+		c.count++
+		dispatched++
+	}
+	if dispatched == 0 {
+		c.stallCyc++
+	}
+}
+
+// NCAddr marks addresses as non-cacheable via their top bit. Traces set
+// it through Record.NonCacheable; the hierarchy strips it before
+// address decomposition. Using an address bit keeps mem.Request free of
+// model-only flags.
+const NCAddr uint64 = 1 << 63
+
+// MarkNC returns addr tagged non-cacheable.
+func MarkNC(addr uint64) uint64 { return addr | NCAddr }
+
+// IsNC reports whether addr carries the non-cacheable tag.
+func IsNC(addr uint64) bool { return addr&NCAddr != 0 }
+
+// StripNC removes the tag.
+func StripNC(addr uint64) uint64 { return addr &^ NCAddr }

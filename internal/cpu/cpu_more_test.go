@@ -1,0 +1,79 @@
+package cpu
+
+import (
+	"testing"
+
+	"dapper/internal/dram"
+	"dapper/internal/mem"
+)
+
+func TestMixedReadWriteTrace(t *testing.T) {
+	tr := &scriptTrace{recs: []Record{
+		{Bubbles: 2, Addr: 64},
+		{Bubbles: 2, Addr: 128, IsWrite: true},
+	}}
+	m := &fixedMemory{lat: 5}
+	c := New(0, tr, m)
+	for now := dram.Cycle(0); now < 5000; now++ {
+		c.Step(now)
+	}
+	if c.MemReads() == 0 || c.MemWrites() == 0 {
+		t.Fatalf("reads=%d writes=%d", c.MemReads(), c.MemWrites())
+	}
+	// Roughly alternating: counts within 2x of each other.
+	if c.MemReads() > 2*c.MemWrites() || c.MemWrites() > 2*c.MemReads() {
+		t.Fatalf("imbalanced: reads=%d writes=%d", c.MemReads(), c.MemWrites())
+	}
+}
+
+func TestRetirementIsInOrder(t *testing.T) {
+	// A slow load at the head must hold back younger bubbles: total
+	// retired over the stall window stays bounded by ROB size.
+	tr := &scriptTrace{recs: []Record{{Bubbles: 200, Addr: 64}}}
+	m := &pendingMemory{lat: 100000}
+	c := New(0, tr, m)
+	for now := dram.Cycle(0); now < 2000; now++ {
+		c.Step(now)
+	}
+	// One record = 201 instructions; the first load blocks at most
+	// ROBSize-1 younger slots behind it, plus the bubbles retired
+	// before it reached the head.
+	if c.Retired() > 400 {
+		t.Fatalf("retired %d during a blocked load", c.Retired())
+	}
+}
+
+func TestRequestPoolReuse(t *testing.T) {
+	tr := &scriptTrace{recs: []Record{{Addr: 64}}}
+	m := &pendingMemory{lat: 10}
+	c := New(0, tr, m)
+	for now := dram.Cycle(0); now < 3000; now++ {
+		m.tick(now)
+		c.Step(now)
+	}
+	if c.Retired() < 200 {
+		t.Fatalf("retired %d; pool/pipeline stalled", c.Retired())
+	}
+	// The pool bounds allocations: far fewer requests than retirements.
+	if len(m.pending) > int(c.MemReads()) {
+		t.Fatal("bookkeeping mismatch")
+	}
+}
+
+func TestWidthBoundsRetirement(t *testing.T) {
+	tr := &scriptTrace{recs: []Record{{Bubbles: 1 << 20, Addr: 0}}}
+	m := &fixedMemory{lat: 0}
+	c := New(0, tr, m)
+	for now := dram.Cycle(0); now < 1000; now++ {
+		c.Step(now)
+	}
+	if c.Retired() > Width*1000 {
+		t.Fatalf("retired %d > width*cycles", c.Retired())
+	}
+	if c.Retired() < Width*900 {
+		t.Fatalf("pure compute should retire near width: %d", c.Retired())
+	}
+}
+
+var _ Memory = (*fixedMemory)(nil)
+var _ = mem.Request{}

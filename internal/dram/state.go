@@ -1,0 +1,92 @@
+package dram
+
+// Bank is the scheduling state of one DRAM bank. The memory controller
+// owns and mutates these; dram only defines the state and its invariants.
+type Bank struct {
+	OpenRow      uint32 // RowNone when precharged
+	ReadyAt      Cycle  // earliest next service (column commands / precharge)
+	LastActAt    Cycle  // time of the last ACT, for tRC spacing
+	BlockedUntil Cycle  // refresh or mitigation blocking (exclusive)
+}
+
+// NewBank returns a precharged, idle bank.
+func NewBank() Bank {
+	return Bank{OpenRow: RowNone, LastActAt: -1 << 62}
+}
+
+// Block extends the bank's blocked window to at least until, closing the
+// row buffer (refresh operations precharge the bank).
+func (b *Bank) Block(until Cycle) {
+	if until > b.BlockedUntil {
+		b.BlockedUntil = until
+	}
+	b.OpenRow = RowNone
+	if until > b.ReadyAt {
+		b.ReadyAt = until
+	}
+}
+
+// AvailableAt returns the earliest cycle at or after now when the bank
+// can start servicing a command.
+func (b *Bank) AvailableAt(now Cycle) Cycle {
+	t := now
+	if b.ReadyAt > t {
+		t = b.ReadyAt
+	}
+	if b.BlockedUntil > t {
+		t = b.BlockedUntil
+	}
+	return t
+}
+
+// Rank is per-rank scheduling state: ACT-to-ACT spacing and refresh.
+type Rank struct {
+	LastActAt    Cycle // for tRRD spacing across the rank's banks
+	NextRefAt    Cycle // next auto-refresh deadline (tREFI cadence)
+	BlockedUntil Cycle // rank-wide block (REF tRFC, bulk resets)
+}
+
+// NewRank returns an idle rank whose first auto-refresh is due at
+// firstRef.
+func NewRank(firstRef Cycle) Rank {
+	return Rank{LastActAt: -1 << 62, NextRefAt: firstRef}
+}
+
+// Block extends the rank-wide blocked window.
+func (r *Rank) Block(until Cycle) {
+	if until > r.BlockedUntil {
+		r.BlockedUntil = until
+	}
+}
+
+// Counters tallies DRAM command events per channel; the energy model
+// (internal/energy) converts them to Joules, and the experiment harness
+// reads them for mitigation statistics.
+type Counters struct {
+	ACT        uint64 // activations (row misses + attacker hammering)
+	RD         uint64 // 64B read bursts
+	WR         uint64 // 64B write bursts
+	REF        uint64 // per-rank auto-refreshes
+	VRR        uint64 // victim-row refresh commands
+	RFMsb      uint64 // same-bank RFM commands
+	DRFMsb     uint64 // same-bank DRFM commands
+	BulkEvents uint64 // bulk structure-reset refreshes
+	BulkRows   uint64 // rows swept by bulk resets
+	InjRD      uint64 // tracker-injected counter reads (subset of RD)
+	InjWR      uint64 // tracker-injected counter writes (subset of WR)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.ACT += other.ACT
+	c.RD += other.RD
+	c.WR += other.WR
+	c.REF += other.REF
+	c.VRR += other.VRR
+	c.RFMsb += other.RFMsb
+	c.DRFMsb += other.DRFMsb
+	c.BulkEvents += other.BulkEvents
+	c.BulkRows += other.BulkRows
+	c.InjRD += other.InjRD
+	c.InjWR += other.InjWR
+}

@@ -1,0 +1,69 @@
+package dram
+
+// Timing holds the DDR5 timing and mitigation-command parameters in CPU
+// cycles (0.25ns each). Defaults follow the paper's Table I
+// (DDR5-6400: tRCD-tRP-tCL 16-16-16ns, tRC 48ns, tRFC 295ns,
+// tREFI 3.9us, tREFW 32ms) plus the mitigation-command costs quoted in
+// §VI-G (DRFMsb 240ns with BR2, RFMsb 190ns; VRR blocks only the
+// accessed bank).
+type Timing struct {
+	TRC    Cycle // row cycle: min ACT-to-ACT, same bank
+	TRCD   Cycle // ACT to column command
+	TRP    Cycle // precharge
+	TCL    Cycle // CAS latency
+	TRRDS  Cycle // ACT-to-ACT, different bank groups (per rank)
+	TRRDL  Cycle // ACT-to-ACT, same bank group (per rank)
+	TWR    Cycle // write recovery
+	TBurst Cycle // data-bus occupancy per 64B transfer
+	TRFC   Cycle // all-bank refresh blocking time (per rank)
+	TREFI  Cycle // auto-refresh interval
+	TREFW  Cycle // refresh window (tracker reset period)
+
+	// Mitigation command costs.
+	TVRR1    Cycle // victim-row refresh, blast radius 1 (2 victims), blocks 1 bank
+	TVRR2    Cycle // blast radius 2 (4 victims), "doubling the blocking duration" (§VI-G)
+	TRFMsb   Cycle // same-bank RFM: blocks same bank index in all bank groups
+	TDRFMsb  Cycle // same-bank DRFM: likewise, 240ns per JEDEC
+	TBulkRow Cycle // per-row cost during a bulk reset refresh (so a 64K-row
+	// bank sweep costs ~2.4ms, matching CoMeT's measured reset penalty)
+
+	// PRAC: per-ACT counter read-modify-write tax added to the row cycle
+	// (zero for every other mitigation).
+	PRACActTax Cycle
+}
+
+// DDR5 returns the Table I timing set.
+func DDR5() Timing {
+	return Timing{
+		TRC:      NS(48),
+		TRCD:     NS(16),
+		TRP:      NS(16),
+		TCL:      NS(16),
+		TRRDS:    NS(2.5),
+		TRRDL:    NS(5),
+		TWR:      NS(30),
+		TBurst:   NS(2.5), // BL16 at 6400 MT/s
+		TRFC:     NS(295),
+		TREFI:    US(3.9),
+		TREFW:    MS(32),
+		TVRR1:    NS(100),
+		TVRR2:    NS(200),
+		TRFMsb:   NS(190),
+		TDRFMsb:  NS(240),
+		TBulkRow: NS(37.5), // 64K rows/bank * 37.5ns ~= 2.4ms rank sweep
+	}
+}
+
+// RowMissLatency is the bank service time for a request that must close
+// an open row and activate a new one.
+func (t Timing) RowMissLatency() Cycle { return t.TRP + t.TRCD + t.TCL }
+
+// RowClosedLatency is the bank service time when the bank is precharged.
+func (t Timing) RowClosedLatency() Cycle { return t.TRCD + t.TCL }
+
+// RowHitLatency is the bank service time for an open-row hit.
+func (t Timing) RowHitLatency() Cycle { return t.TCL }
+
+// BulkSweep returns the time to refresh `rows` rows sequentially in one
+// bank during a bulk structure reset.
+func (t Timing) BulkSweep(rows uint32) Cycle { return Cycle(rows) * t.TBulkRow }

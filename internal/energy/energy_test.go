@@ -1,0 +1,108 @@
+package energy
+
+import (
+	"testing"
+
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+func TestBackgroundOnly(t *testing.T) {
+	m := DDR5()
+	// 4e9 cycles = 1 second, 2 channels: background only.
+	j := m.Joules(dram.Counters{}, 4_000_000_000, 2, rh.VRR1)
+	want := m.Background * 2
+	if j < want*0.99 || j > want*1.01 {
+		t.Fatalf("background energy = %v, want %v", j, want)
+	}
+}
+
+func TestCommandEnergiesAdd(t *testing.T) {
+	m := DDR5()
+	base := m.Joules(dram.Counters{}, 1000, 2, rh.VRR1)
+	withActs := m.Joules(dram.Counters{ACT: 1000}, 1000, 2, rh.VRR1)
+	deltaNJ := (withActs - base) * 1e9
+	if deltaNJ < 2499 || deltaNJ > 2501 {
+		t.Fatalf("1000 ACTs added %.1fnJ, want 2500", deltaNJ)
+	}
+}
+
+func TestBlastRadiusDoublesVRREnergy(t *testing.T) {
+	m := DDR5()
+	c := dram.Counters{VRR: 100}
+	e1 := m.Joules(c, 0, 2, rh.VRR1)
+	e2 := m.Joules(c, 0, 2, rh.VRR2)
+	if e2 <= e1 {
+		t.Fatal("BR2 must cost more")
+	}
+	if e2/e1 < 1.9 || e2/e1 > 2.1 {
+		t.Fatalf("BR2/BR1 = %.2f, want ~2", e2/e1)
+	}
+}
+
+func TestDRFMCostsMoreThanRFM(t *testing.T) {
+	m := DDR5()
+	rfm := m.Joules(dram.Counters{RFMsb: 10}, 0, 2, rh.VRR1)
+	drfm := m.Joules(dram.Counters{DRFMsb: 10}, 0, 2, rh.VRR1)
+	if drfm <= rfm {
+		t.Fatal("DRFMsb (BR2, 8 banks) must cost more than RFMsb")
+	}
+}
+
+func TestBulkRowsDominate(t *testing.T) {
+	m := DDR5()
+	// A CoMeT-style reset sweeps 2M rows: hugely more than benign VRRs.
+	bulk := m.Joules(dram.Counters{BulkRows: 2 << 20}, 0, 2, rh.VRR1)
+	vrr := m.Joules(dram.Counters{VRR: 1000}, 0, 2, rh.VRR1)
+	if bulk < 100*vrr {
+		t.Fatalf("bulk sweep %.4fJ should dwarf VRRs %.4fJ", bulk, vrr)
+	}
+}
+
+func TestOverheadZeroWithoutMitigations(t *testing.T) {
+	m := DDR5()
+	c := dram.Counters{ACT: 100, RD: 100}
+	if got := m.Overhead(c, c, 1000, 2, rh.VRR1); got != 0 {
+		t.Fatalf("overhead = %v", got)
+	}
+}
+
+func TestMitigationJoulesCountsCounterTraffic(t *testing.T) {
+	m := DDR5()
+	c := dram.Counters{InjRD: 1000, InjWR: 500}
+	j := m.MitigationJoules(c, rh.VRR1)
+	wantNJ := 1000*m.ReadNJ + 500*m.WriteNJ
+	if gotNJ := j * 1e9; gotNJ < wantNJ*0.99 || gotNJ > wantNJ*1.01 {
+		t.Fatalf("mitigation energy = %.1fnJ, want %.1fnJ", gotNJ, wantNJ)
+	}
+}
+
+func TestOverheadNeverNegative(t *testing.T) {
+	m := DDR5()
+	base := dram.Counters{ACT: 100000, RD: 100000}
+	treat := dram.Counters{ACT: 10, RD: 10, VRR: 5} // throttled treatment
+	if got := m.Overhead(treat, base, dram.MS(1), 2, rh.VRR1); got < 0 {
+		t.Fatalf("overhead = %v, must be non-negative", got)
+	}
+}
+
+func TestOverheadPositiveWithMitigations(t *testing.T) {
+	m := DDR5()
+	base := dram.Counters{ACT: 10000, RD: 10000, REF: 100}
+	treat := base
+	treat.VRR = 500
+	got := m.Overhead(treat, base, dram.MS(1), 2, rh.VRR1)
+	if got <= 0 {
+		t.Fatalf("overhead = %v, want positive", got)
+	}
+	if got > 0.5 {
+		t.Fatalf("overhead = %v, implausibly large for 500 VRRs", got)
+	}
+}
+
+func TestOverheadHandlesZeroBaseline(t *testing.T) {
+	m := Model{} // all-zero model
+	if got := m.Overhead(dram.Counters{}, dram.Counters{}, 0, 0, rh.VRR1); got != 0 {
+		t.Fatalf("overhead = %v", got)
+	}
+}

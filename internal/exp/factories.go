@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"dapper/internal/core"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/trackers/abacus"
+	"dapper/internal/trackers/blockhammer"
+	"dapper/internal/trackers/comet"
+	"dapper/internal/trackers/hydra"
+	"dapper/internal/trackers/para"
+	"dapper/internal/trackers/prac"
+	"dapper/internal/trackers/start"
+)
+
+// trackerSpec names a tracker configuration used by the comparison
+// figures.
+type trackerSpec struct {
+	Name    string
+	Factory sim.TrackerFactory
+	Mode    rh.MitigationMode
+}
+
+// hydraFactory builds the Hydra baseline.
+func hydraFactory(geo dram.Geometry, nrh uint32) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return hydra.New(ch, hydra.Config{Geometry: geo, NRH: nrh})
+	}
+}
+
+// startFactory builds the START baseline.
+func startFactory(geo dram.Geometry, nrh uint32, llcBytes int) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return start.New(ch, start.Config{Geometry: geo, NRH: nrh, LLCBytes: llcBytes})
+	}
+}
+
+// cometFactory builds the CoMeT baseline.
+func cometFactory(geo dram.Geometry, nrh uint32) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return comet.New(ch, comet.Config{Geometry: geo, NRH: nrh})
+	}
+}
+
+// abacusFactory builds the ABACUS baseline.
+func abacusFactory(geo dram.Geometry, nrh uint32) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return abacus.New(ch, abacus.Config{Geometry: geo, NRH: nrh})
+	}
+}
+
+// blockhammerFactory builds the BlockHammer baseline.
+func blockhammerFactory(geo dram.Geometry, nrh uint32) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return blockhammer.New(ch, blockhammer.Config{Geometry: geo, NRH: nrh})
+	}
+}
+
+// paraFactory builds PARA with the given mitigation mode.
+func paraFactory(geo dram.Geometry, nrh uint32, mode rh.MitigationMode, seed uint64) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return para.NewPARA(ch, geo, nrh, mode, seed)
+	}
+}
+
+// prideFactory builds PrIDE with the given mitigation mode.
+func prideFactory(geo dram.Geometry, nrh uint32, mode rh.MitigationMode, seed uint64) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return para.NewPrIDE(ch, geo, nrh, mode, seed)
+	}
+}
+
+// pracFactory builds the PRAC baseline.
+func pracFactory(geo dram.Geometry, nrh uint32) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		return prac.New(ch, prac.Config{Geometry: geo, NRH: nrh})
+	}
+}
+
+// dapperSFactory builds DAPPER-S.
+func dapperSFactory(geo dram.Geometry, nrh uint32, mode rh.MitigationMode) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		d, err := core.NewDapperS(ch, core.Config{Geometry: geo, NRH: nrh, Mode: mode})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+}
+
+// dapperHFactory builds DAPPER-H.
+func dapperHFactory(geo dram.Geometry, nrh uint32, mode rh.MitigationMode) sim.TrackerFactory {
+	return func(ch int) rh.Tracker {
+		d, err := core.NewDapperH(ch, core.Config{Geometry: geo, NRH: nrh, Mode: mode})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+}
+
+// scalableTrackers returns the four baseline trackers of Figures 1/3/4/5
+// at a threshold.
+func scalableTrackers(geo dram.Geometry, nrh uint32, llcBytes int) []trackerSpec {
+	return []trackerSpec{
+		{Name: "Hydra", Factory: hydraFactory(geo, nrh), Mode: rh.VRR1},
+		{Name: "START", Factory: startFactory(geo, nrh, llcBytes), Mode: rh.VRR1},
+		{Name: "ABACUS", Factory: abacusFactory(geo, nrh), Mode: rh.VRR1},
+		{Name: "CoMeT", Factory: cometFactory(geo, nrh), Mode: rh.VRR1},
+	}
+}

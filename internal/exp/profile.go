@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"dapper/internal/dram"
+	"dapper/internal/workloads"
+)
+
+// Profile scopes an experiment run: which workloads, which thresholds,
+// and how long to simulate. EXPERIMENTS.md records which profile
+// produced each table.
+type Profile struct {
+	Name string
+
+	// Workloads is the per-workload set for Figures 1/3/9/10/11.
+	Workloads []workloads.Workload
+	// SweepWorkloads is the (usually smaller) set averaged in the
+	// threshold/LLC sweeps (Figures 4/5/12-17, Table IV).
+	SweepWorkloads []workloads.Workload
+
+	// NRH is the default threshold (500); NRHSweep the sensitivity
+	// range.
+	NRH      uint32
+	NRHSweep []uint32
+
+	Warmup  dram.Cycle
+	Measure dram.Cycle
+
+	// Geometry for baseline-tracker experiments (full 64K-row banks:
+	// their structure-reset penalties depend on it).
+	Geometry dram.Geometry
+	// DapperGeometry for the DAPPER streaming/refresh experiments:
+	// fewer rows per bank so whole-rank attack dynamics (a full
+	// streaming pass) fit the measurement window; per-command timing
+	// stays physical (DESIGN.md §2.6).
+	DapperGeometry dram.Geometry
+	// DapperWarmup/DapperMeasure: windows for the scaled-geometry runs.
+	DapperWarmup  dram.Cycle
+	DapperMeasure dram.Cycle
+
+	Seed uint64
+}
+
+// Quick returns the CI/bench profile: a representative 12-workload set,
+// short windows. Shapes (who wins, by what factor) are stable at this
+// scale; absolute percentages move a little versus the full profile.
+func Quick() Profile {
+	rep := workloads.Representative()
+	return Profile{
+		Name:           "quick",
+		Workloads:      rep,
+		SweepWorkloads: rep[:3],
+		NRH:            500,
+		NRHSweep:       []uint32{125, 500, 2000},
+		Warmup:         dram.US(100),
+		Measure:        dram.US(400),
+		Geometry:       dram.Baseline(),
+		DapperGeometry: dram.Scaled(2048),
+		DapperWarmup:   dram.US(100),
+		DapperMeasure:  dram.US(900),
+		Seed:           1,
+	}
+}
+
+// Full returns the paper-scale profile: all 57 workloads, the full
+// threshold sweep, longer windows. Hours of CPU; used by
+// cmd/dapper-experiments -profile full.
+func Full() Profile {
+	all := workloads.All()
+	return Profile{
+		Name:           "full",
+		Workloads:      all,
+		SweepWorkloads: workloads.Representative()[:6],
+		NRH:            500,
+		NRHSweep:       []uint32{125, 250, 500, 1000, 2000, 4000},
+		Warmup:         dram.US(200),
+		Measure:        dram.MS(1),
+		Geometry:       dram.Baseline(),
+		DapperGeometry: dram.Scaled(2048),
+		DapperWarmup:   dram.US(200),
+		DapperMeasure:  dram.MS(1.2),
+		Seed:           1,
+	}
+}
+
+// Tiny returns a minimal profile for unit tests of the harness
+// plumbing (not for result quality).
+func Tiny() Profile {
+	rep := workloads.Representative()
+	return Profile{
+		Name:           "tiny",
+		Workloads:      rep[:2],
+		SweepWorkloads: rep[:1],
+		NRH:            500,
+		NRHSweep:       []uint32{500},
+		Warmup:         dram.US(5),
+		Measure:        dram.US(30),
+		Geometry:       dram.Baseline(),
+		DapperGeometry: dram.Scaled(1024),
+		DapperWarmup:   dram.US(5),
+		DapperMeasure:  dram.US(30),
+		Seed:           1,
+	}
+}

@@ -1,0 +1,412 @@
+// Package mem implements the per-channel memory controller: request
+// queues with FR-FCFS scheduling, open-page policy, DDR5 bank/rank
+// timing, auto-refresh, and the RowHammer-tracker integration points
+// (activation hooks, mitigation blocking, injected counter traffic, and
+// throttling). One Controller instance models one channel of the
+// Table I system.
+package mem
+
+import (
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+// Request is one 64B memory transaction. Cores (and trackers, for
+// counter traffic) allocate requests and hand them to Enqueue; the
+// controller sets Done and DoneAt on completion. Requests are reusable
+// after completion.
+type Request struct {
+	Addr       uint64
+	Loc        dram.Loc
+	IsWrite    bool
+	Core       int
+	Injected   bool // tracker-generated counter traffic
+	EnqueuedAt dram.Cycle
+	DoneAt     dram.Cycle
+	Done       bool
+}
+
+// Stats aggregates controller-side performance counters.
+type Stats struct {
+	ReadsServed   uint64
+	WritesServed  uint64
+	RowHits       uint64
+	RowMisses     uint64 // includes closed-bank activations
+	TotalReadWait dram.Cycle
+	Refreshes     uint64
+}
+
+// Controller schedules one channel. Not safe for concurrent use.
+type Controller struct {
+	channel int
+	geo     dram.Geometry
+	tim     dram.Timing
+	tracker rh.Tracker
+	throt   rh.Throttler // non-nil if tracker throttles
+	mode    rh.MitigationMode
+
+	banks []dram.Bank
+	ranks []dram.Rank
+
+	queue    []*Request // core requests, bounded
+	injected []*Request // tracker counter traffic, unbounded, priority
+	queueCap int
+
+	dataBusFreeAt   dram.Cycle
+	nextTrackerTick dram.Cycle
+	nextConsider    dram.Cycle // idle-scan backoff
+
+	counters dram.Counters
+	stats    Stats
+	actBuf   []rh.Action
+}
+
+// QueueCap is the per-channel read/write queue capacity; a full queue
+// back-pressures the cores, which is how bandwidth loss becomes
+// slowdown.
+const QueueCap = 48
+
+// NewController builds a controller for the given channel. mode selects
+// the mitigation command used for RefreshVictims actions (VRR1 default).
+func NewController(channel int, geo dram.Geometry, tim dram.Timing, tracker rh.Tracker, mode rh.MitigationMode) *Controller {
+	c := &Controller{
+		channel:         channel,
+		geo:             geo,
+		tim:             tim,
+		tracker:         tracker,
+		mode:            mode,
+		banks:           make([]dram.Bank, geo.BanksPerChannel()),
+		ranks:           make([]dram.Rank, geo.Ranks),
+		queueCap:        QueueCap,
+		nextTrackerTick: tim.TREFI,
+	}
+	for i := range c.banks {
+		c.banks[i] = dram.NewBank()
+	}
+	for i := range c.ranks {
+		// Stagger rank refreshes half a tREFI apart, as real
+		// controllers do, so both ranks are never blocked at once.
+		c.ranks[i] = dram.NewRank(tim.TREFI + dram.Cycle(i)*tim.TREFI/2)
+	}
+	if th, ok := tracker.(rh.Throttler); ok {
+		c.throt = th
+	}
+	return c
+}
+
+// Counters returns the DRAM event counters.
+func (c *Controller) Counters() dram.Counters { return c.counters }
+
+// Stats returns controller performance counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// QueueLen returns the number of pending core requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// CanEnqueue reports whether the core queue has room.
+func (c *Controller) CanEnqueue() bool { return len(c.queue) < c.queueCap }
+
+// Enqueue admits a request; it returns false when the queue is full
+// (the caller must retry later, and the request is left untouched).
+// Injected requests are never refused.
+func (c *Controller) Enqueue(r *Request, now dram.Cycle) bool {
+	if r.Injected {
+		r.Done = false
+		r.EnqueuedAt = now
+		c.injected = append(c.injected, r)
+		c.nextConsider = 0
+		return true
+	}
+	if len(c.queue) >= c.queueCap {
+		return false
+	}
+	r.Done = false
+	r.EnqueuedAt = now
+	c.queue = append(c.queue, r)
+	c.nextConsider = 0
+	return true
+}
+
+// Tick advances the controller to cycle now: runs refresh, the tracker's
+// periodic work, and attempts to start one request.
+func (c *Controller) Tick(now dram.Cycle) {
+	c.refreshTick(now)
+	if now < c.nextConsider {
+		return
+	}
+	if !c.trySchedule(now) {
+		c.nextConsider = now + 2 // back off half a nanosecond when stalled
+	}
+}
+
+// refreshTick issues per-rank auto-refresh on the tREFI cadence and runs
+// the tracker's periodic hook.
+func (c *Controller) refreshTick(now dram.Cycle) {
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if now >= rk.NextRefAt {
+			until := now + c.tim.TRFC
+			rk.Block(until)
+			base := r * c.geo.BanksPerRank()
+			for b := 0; b < c.geo.BanksPerRank(); b++ {
+				c.banks[base+b].Block(until)
+			}
+			rk.NextRefAt += c.tim.TREFI
+			c.counters.REF++
+			c.stats.Refreshes++
+			c.nextConsider = 0
+		}
+	}
+	if now >= c.nextTrackerTick {
+		c.actBuf = c.tracker.Tick(now, c.actBuf[:0])
+		c.applyActions(now, c.actBuf)
+		c.nextTrackerTick += c.tim.TREFI
+	}
+}
+
+// trySchedule starts at most one request. Returns true if progress was
+// made (so the idle backoff only engages when truly stalled).
+func (c *Controller) trySchedule(now dram.Cycle) bool {
+	if r := c.pick(c.injected, now); r != nil {
+		c.service(r, now)
+		c.removeInjected(r)
+		return true
+	}
+	if r := c.pick(c.queue, now); r != nil {
+		c.service(r, now)
+		c.removeQueued(r)
+		return true
+	}
+	return false
+}
+
+// pick implements FR-FCFS over a queue: the oldest row-buffer hit that
+// can start now, else the oldest request that can start now.
+func (c *Controller) pick(q []*Request, now dram.Cycle) *Request {
+	var oldest *Request
+	for _, r := range q {
+		fb := c.geo.FlatBank(r.Loc)
+		bank := &c.banks[fb]
+		if bank.AvailableAt(now) > now {
+			continue
+		}
+		rank := &c.ranks[r.Loc.Rank]
+		if rank.BlockedUntil > now {
+			continue
+		}
+		hit := bank.OpenRow == r.Loc.Row
+		if !hit {
+			// Needs an ACT: respect tRC, tRRD and throttling.
+			actAt := now
+			if bank.OpenRow != dram.RowNone {
+				actAt = now + c.tim.TRP
+			}
+			if bank.LastActAt+c.tim.TRC+c.tim.PRACActTax > actAt {
+				continue
+			}
+			if rank.LastActAt+c.tim.TRRDS > actAt {
+				continue
+			}
+			if c.throt != nil && !r.Injected {
+				if c.throt.NextAllowed(now, r.Loc) > now {
+					continue
+				}
+			}
+		}
+		if hit {
+			// First-ready: serve the oldest hit immediately.
+			if c.dataBusOK(now, c.tim.RowHitLatency()) {
+				return r
+			}
+			continue
+		}
+		if oldest == nil {
+			lat := c.tim.RowClosedLatency()
+			if bank.OpenRow != dram.RowNone {
+				lat = c.tim.RowMissLatency()
+			}
+			if c.dataBusOK(now, lat) {
+				oldest = r
+			}
+		}
+	}
+	return oldest
+}
+
+// dataBusOK checks the channel data bus is free when this request's
+// burst would begin.
+func (c *Controller) dataBusOK(now dram.Cycle, latency dram.Cycle) bool {
+	return c.dataBusFreeAt <= now+latency
+}
+
+// service starts request r at cycle now, updating all timing state and
+// firing the tracker hook if an ACT was issued.
+func (c *Controller) service(r *Request, now dram.Cycle) {
+	fb := c.geo.FlatBank(r.Loc)
+	bank := &c.banks[fb]
+	rank := &c.ranks[r.Loc.Rank]
+
+	var latency dram.Cycle
+	activated := false
+	switch {
+	case bank.OpenRow == r.Loc.Row:
+		latency = c.tim.RowHitLatency()
+		c.stats.RowHits++
+	case bank.OpenRow == dram.RowNone:
+		latency = c.tim.RowClosedLatency()
+		bank.LastActAt = now
+		rank.LastActAt = now
+		activated = true
+		c.stats.RowMisses++
+	default:
+		latency = c.tim.RowMissLatency()
+		actAt := now + c.tim.TRP
+		bank.LastActAt = actAt
+		rank.LastActAt = actAt
+		activated = true
+		c.stats.RowMisses++
+	}
+	bank.OpenRow = r.Loc.Row
+
+	dataStart := now + latency
+	dataEnd := dataStart + c.tim.TBurst
+	c.dataBusFreeAt = dataEnd
+	// The bank accepts its next column command one burst slot (tCCD)
+	// after this one; the shared data bus is what actually spaces
+	// back-to-back transfers.
+	bank.ReadyAt = dataStart - c.tim.TCL + c.tim.TBurst
+	if bank.ReadyAt < now {
+		bank.ReadyAt = now
+	}
+	if r.IsWrite {
+		// Write recovery delays the next row change; approximate by
+		// extending bank busy slightly.
+		bank.ReadyAt = dataEnd + c.tim.TWR/4
+	}
+
+	r.Done = true
+	r.DoneAt = dataEnd
+	if r.IsWrite {
+		c.counters.WR++
+		c.stats.WritesServed++
+		if r.Injected {
+			c.counters.InjWR++
+		}
+	} else {
+		c.counters.RD++
+		c.stats.ReadsServed++
+		c.stats.TotalReadWait += dataEnd - r.EnqueuedAt
+		if r.Injected {
+			c.counters.InjRD++
+		}
+	}
+
+	if activated {
+		c.counters.ACT++
+		if !r.Injected {
+			c.actBuf = c.tracker.OnActivate(bank.LastActAt, r.Loc, c.actBuf[:0])
+			c.applyActions(bank.LastActAt, c.actBuf)
+		}
+	}
+}
+
+// applyActions executes tracker actions: mitigation blocking and
+// injected counter traffic.
+func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action) {
+	for i := range acts {
+		a := &acts[i]
+		switch a.Kind {
+		case rh.RefreshVictims:
+			dur := c.tim.TVRR1
+			if c.mode == rh.VRR2 {
+				dur = c.tim.TVRR2
+			}
+			c.blockBank(a.Loc, dur)
+			c.counters.VRR++
+		case rh.RefreshVictimsRFMsb:
+			c.blockSameBank(a.Loc, c.tim.TRFMsb)
+			c.counters.RFMsb++
+		case rh.RefreshVictimsDRFMsb:
+			c.blockSameBank(a.Loc, c.tim.TDRFMsb)
+			c.counters.DRFMsb++
+		case rh.BulkRefreshRank:
+			c.bulkRefreshRank(now, a.Loc.Rank)
+		case rh.BulkRefreshChannel:
+			for rk := 0; rk < c.geo.Ranks; rk++ {
+				c.bulkRefreshRank(now, rk)
+			}
+		case rh.InjectRead, rh.InjectWrite:
+			req := &Request{
+				Loc:      a.Loc,
+				IsWrite:  a.Kind == rh.InjectWrite,
+				Injected: true,
+			}
+			req.Addr = c.geo.Compose(a.Loc)
+			c.Enqueue(req, now)
+		}
+	}
+}
+
+// blockBank blocks the single bank of loc for dur, starting when the
+// bank next comes free (mitigations queue behind in-flight work).
+func (c *Controller) blockBank(loc dram.Loc, dur dram.Cycle) {
+	bank := &c.banks[c.geo.FlatBank(loc)]
+	start := bank.ReadyAt
+	if bank.BlockedUntil > start {
+		start = bank.BlockedUntil
+	}
+	bank.Block(start + dur)
+	c.nextConsider = 0
+}
+
+// blockSameBank blocks the same bank index across every bank group of
+// loc's rank (RFMsb/DRFMsb semantics, §VI-G).
+func (c *Controller) blockSameBank(loc dram.Loc, dur dram.Cycle) {
+	for bg := 0; bg < c.geo.BankGroups; bg++ {
+		l := loc
+		l.BankGroup = bg
+		c.blockBank(l, dur)
+	}
+}
+
+// bulkRefreshRank blocks the whole rank for a full row sweep: the
+// structure-reset penalty of CoMeT/ABACUS (~2.4ms for 64K-row banks).
+func (c *Controller) bulkRefreshRank(now dram.Cycle, rankID int) {
+	dur := c.tim.BulkSweep(c.geo.RowsPerBank)
+	until := now + dur
+	rk := &c.ranks[rankID]
+	rk.Block(until)
+	base := rankID * c.geo.BanksPerRank()
+	for b := 0; b < c.geo.BanksPerRank(); b++ {
+		c.banks[base+b].Block(until)
+	}
+	c.counters.BulkEvents++
+	c.counters.BulkRows += uint64(c.geo.BanksPerRank()) * uint64(c.geo.RowsPerBank)
+	c.nextConsider = 0
+}
+
+func (c *Controller) removeQueued(r *Request) {
+	for i, q := range c.queue {
+		if q == r {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Controller) removeInjected(r *Request) {
+	for i, q := range c.injected {
+		if q == r {
+			c.injected = append(c.injected[:i], c.injected[i+1:]...)
+			return
+		}
+	}
+}
+
+// BankOpenRow exposes a bank's open row for tests.
+func (c *Controller) BankOpenRow(flatBank int) uint32 { return c.banks[flatBank].OpenRow }
+
+// BankBlockedUntil exposes a bank's blocked deadline for tests.
+func (c *Controller) BankBlockedUntil(flatBank int) dram.Cycle {
+	return c.banks[flatBank].BlockedUntil
+}

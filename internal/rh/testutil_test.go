@@ -1,0 +1,8 @@
+package rh
+
+import "dapper/internal/dram"
+
+// locAt builds a Loc for tests.
+func locAt(ch, rank, bg, bank int, row uint32) dram.Loc {
+	return dram.Loc{Channel: ch, Rank: rank, BankGroup: bg, Bank: bank, Row: row}
+}

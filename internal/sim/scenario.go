@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"dapper/internal/attack"
+	"dapper/internal/cpu"
+	"dapper/internal/dram"
+	"dapper/internal/workloads"
+)
+
+// BenignTraces builds n copies of workload w, each in its own slice of
+// the physical address space (homogeneous multi-programming, §IV).
+func BenignTraces(w workloads.Workload, n int, geo dram.Geometry, seed uint64) []cpu.Trace {
+	traces := make([]cpu.Trace, n)
+	slice := geo.TotalBytes() / uint64(n)
+	for i := range traces {
+		traces[i] = workloads.NewTrace(w, uint64(i)*slice, slice, seed+uint64(i)*0x9E37+1)
+	}
+	return traces
+}
+
+// AttackScenario builds the paper's Perf-Attack co-run: n-1 benign
+// copies of w plus the attacker on the last core.
+func AttackScenario(w workloads.Workload, n int, geo dram.Geometry, nrh uint32, kind attack.Kind, seed uint64) []cpu.Trace {
+	traces := BenignTraces(w, n-1, geo, seed)
+	traces = append(traces, attack.MustTrace(attack.Config{Geometry: geo, NRH: nrh, Kind: kind}))
+	return traces
+}
+
+// BenignCores returns the core indices holding benign workloads for a
+// trace set built by AttackScenario (all but the last).
+func BenignCores(n int) []int {
+	cores := make([]int, n-1)
+	for i := range cores {
+		cores[i] = i
+	}
+	return cores
+}
+
+// NormalizedPerf returns the mean IPC ratio of the given cores between a
+// treatment run and its baseline — the paper's "normalized performance"
+// metric.
+func NormalizedPerf(treat, base Result, cores []int) float64 {
+	if len(cores) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cores {
+		if base.IPC[c] > 0 {
+			sum += treat.IPC[c] / base.IPC[c]
+		}
+	}
+	return sum / float64(len(cores))
+}

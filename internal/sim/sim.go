@@ -1,0 +1,352 @@
+// Package sim wires the full Table I system together: four out-of-order
+// cores, a shared LLC, two memory-channel controllers, and one RowHammer
+// tracker instance per channel. It runs warmup + measurement windows and
+// reports per-core IPC plus DRAM/tracker statistics — the raw material
+// for every figure in the paper.
+package sim
+
+import (
+	"fmt"
+
+	"dapper/internal/cache"
+	"dapper/internal/cpu"
+	"dapper/internal/dram"
+	"dapper/internal/mem"
+	"dapper/internal/rh"
+)
+
+// TrackerFactory builds one tracker per channel (trackers are
+// per-channel structures in every design the paper evaluates).
+type TrackerFactory func(channel int) rh.Tracker
+
+// NopFactory is the insecure baseline.
+func NopFactory(channel int) rh.Tracker { return rh.NewNop() }
+
+// Config describes one simulation run.
+type Config struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	// LLCBytes/LLCWays size the shared cache (Table I: 8MB, 16-way).
+	LLCBytes int
+	LLCWays  int
+	// LLCLatency is the hit latency.
+	LLCLatency dram.Cycle
+	// Tracker builds the per-channel tracker (NopFactory if nil).
+	Tracker TrackerFactory
+	Mode    rh.MitigationMode
+	// Traces drive the cores (one each).
+	Traces []cpu.Trace
+	// Warmup runs before statistics reset; Measure is the measured
+	// window.
+	Warmup  dram.Cycle
+	Measure dram.Cycle
+}
+
+// withDefaults fills zero fields with Table I values.
+func (c Config) withDefaults() Config {
+	if c.Geometry.Channels == 0 {
+		c.Geometry = dram.Baseline()
+	}
+	if c.Timing.TRC == 0 {
+		c.Timing = dram.DDR5()
+	}
+	if c.LLCBytes == 0 {
+		c.LLCBytes = 8 << 20
+	}
+	if c.LLCWays == 0 {
+		c.LLCWays = 16
+	}
+	if c.LLCLatency == 0 {
+		c.LLCLatency = dram.NS(10)
+	}
+	if c.Tracker == nil {
+		c.Tracker = NopFactory
+	}
+	if c.Warmup == 0 {
+		c.Warmup = dram.US(50)
+	}
+	if c.Measure == 0 {
+		c.Measure = dram.US(300)
+	}
+	return c
+}
+
+// Result is the outcome of a run; all statistics cover the measurement
+// window only.
+type Result struct {
+	IPC          []float64 // per core
+	Instructions []uint64  // per core
+	Cycles       dram.Cycle
+	Counters     dram.Counters // summed over channels
+	Tracker      rh.Stats      // summed over channels
+	Mem          mem.Stats     // summed over channels
+	LLCHitRate   float64
+	TrackerNames []string
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Geometry.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(cfg.Traces) == 0 {
+		return Result{}, fmt.Errorf("sim: no traces")
+	}
+
+	trackers := make([]rh.Tracker, cfg.Geometry.Channels)
+	for ch := range trackers {
+		trackers[ch] = cfg.Tracker(ch)
+	}
+
+	// Optional tracker extensions: PRAC's ACT tax and START's LLC
+	// reservation.
+	timing := cfg.Timing
+	if taxer, ok := trackers[0].(rh.TimingTaxer); ok {
+		timing.PRACActTax = taxer.ActTax()
+	}
+	llcBytes := cfg.LLCBytes
+	if res, ok := trackers[0].(rh.LLCReserver); ok {
+		llcBytes = int(float64(llcBytes) * (1 - res.LLCReservedFraction()))
+	}
+
+	controllers := make([]*mem.Controller, cfg.Geometry.Channels)
+	for ch := range controllers {
+		controllers[ch] = mem.NewController(ch, cfg.Geometry, timing, trackers[ch], cfg.Mode)
+	}
+
+	llc, err := cache.NewBySize(llcBytes, cfg.LLCWays, cfg.Geometry.LineBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	hier := &hierarchy{
+		geo:    cfg.Geometry,
+		llc:    llc,
+		ctrls:  controllers,
+		llcLat: cfg.LLCLatency,
+	}
+
+	cores := make([]*cpu.Core, len(cfg.Traces))
+	for i, tr := range cfg.Traces {
+		cores[i] = cpu.New(i, tr, hier)
+	}
+
+	var base snapshots
+	end := cfg.Warmup + cfg.Measure
+	for now := dram.Cycle(0); now < end; now++ {
+		for _, c := range controllers {
+			c.Tick(now)
+		}
+		hier.flush(now)
+		for _, c := range cores {
+			c.Step(now)
+		}
+		if now == cfg.Warmup {
+			base = snapshot(cores, controllers, trackers, llc)
+		}
+	}
+	final := snapshot(cores, controllers, trackers, llc)
+
+	res := Result{Cycles: cfg.Measure}
+	for i := range cores {
+		instr := final.retired[i] - base.retired[i]
+		res.Instructions = append(res.Instructions, instr)
+		res.IPC = append(res.IPC, float64(instr)/float64(cfg.Measure))
+	}
+	res.Counters = final.counters
+	sub(&res.Counters, base.counters)
+	res.Tracker = final.tracker
+	subStats(&res.Tracker, base.tracker)
+	res.Mem = final.mem
+	subMem(&res.Mem, base.mem)
+	if acc := final.llcAcc - base.llcAcc; acc > 0 {
+		res.LLCHitRate = float64(final.llcHit-base.llcHit) / float64(acc)
+	}
+	for _, t := range trackers {
+		res.TrackerNames = append(res.TrackerNames, t.Name())
+	}
+	return res, nil
+}
+
+// MustRun is Run panicking on configuration errors.
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type snapshots struct {
+	retired  []uint64
+	counters dram.Counters
+	tracker  rh.Stats
+	mem      mem.Stats
+	llcHit   uint64
+	llcAcc   uint64
+}
+
+func snapshot(cores []*cpu.Core, ctrls []*mem.Controller, trackers []rh.Tracker, llc *cache.Cache) snapshots {
+	s := snapshots{}
+	for _, c := range cores {
+		s.retired = append(s.retired, c.Retired())
+	}
+	for _, c := range ctrls {
+		s.counters.Add(c.Counters())
+		st := c.Stats()
+		s.mem.ReadsServed += st.ReadsServed
+		s.mem.WritesServed += st.WritesServed
+		s.mem.RowHits += st.RowHits
+		s.mem.RowMisses += st.RowMisses
+		s.mem.TotalReadWait += st.TotalReadWait
+		s.mem.Refreshes += st.Refreshes
+	}
+	for _, t := range trackers {
+		ts := t.Stats()
+		s.tracker.Activations += ts.Activations
+		s.tracker.Mitigations += ts.Mitigations
+		s.tracker.VictimRefreshes += ts.VictimRefreshes
+		s.tracker.BulkResets += ts.BulkResets
+		s.tracker.InjectedReads += ts.InjectedReads
+		s.tracker.InjectedWrites += ts.InjectedWrites
+		s.tracker.Throttled += ts.Throttled
+	}
+	s.llcHit = llc.Hits()
+	s.llcAcc = llc.Hits() + llc.Misses()
+	return s
+}
+
+func sub(a *dram.Counters, b dram.Counters) {
+	a.ACT -= b.ACT
+	a.RD -= b.RD
+	a.WR -= b.WR
+	a.REF -= b.REF
+	a.VRR -= b.VRR
+	a.RFMsb -= b.RFMsb
+	a.DRFMsb -= b.DRFMsb
+	a.BulkEvents -= b.BulkEvents
+	a.BulkRows -= b.BulkRows
+	a.InjRD -= b.InjRD
+	a.InjWR -= b.InjWR
+}
+
+func subStats(a *rh.Stats, b rh.Stats) {
+	a.Activations -= b.Activations
+	a.Mitigations -= b.Mitigations
+	a.VictimRefreshes -= b.VictimRefreshes
+	a.BulkResets -= b.BulkResets
+	a.InjectedReads -= b.InjectedReads
+	a.InjectedWrites -= b.InjectedWrites
+	a.Throttled -= b.Throttled
+}
+
+func subMem(a *mem.Stats, b mem.Stats) {
+	a.ReadsServed -= b.ReadsServed
+	a.WritesServed -= b.WritesServed
+	a.RowHits -= b.RowHits
+	a.RowMisses -= b.RowMisses
+	a.TotalReadWait -= b.TotalReadWait
+	a.Refreshes -= b.Refreshes
+}
+
+// hierarchy implements cpu.Memory: shared LLC in front of the channel
+// controllers. Write-back, allocate-on-miss; evicted dirty lines become
+// DRAM write-backs via a bounded backlog.
+type hierarchy struct {
+	geo     dram.Geometry
+	llc     *cache.Cache
+	ctrls   []*mem.Controller
+	llcLat  dram.Cycle
+	backlog []*mem.Request
+	pool    []*mem.Request
+}
+
+const backlogCap = 64
+
+func (h *hierarchy) getReq() *mem.Request {
+	if n := len(h.pool); n > 0 {
+		r := h.pool[n-1]
+		h.pool = h.pool[:n-1]
+		*r = mem.Request{}
+		return r
+	}
+	return &mem.Request{}
+}
+
+// flush retires completed write-backs and retries queued ones.
+func (h *hierarchy) flush(now dram.Cycle) {
+	kept := h.backlog[:0]
+	for _, r := range h.backlog {
+		if r.Done && r.DoneAt <= now {
+			if len(h.pool) < 128 {
+				h.pool = append(h.pool, r)
+			}
+			continue
+		}
+		if !r.Done && r.EnqueuedAt == -1 {
+			// Not yet admitted: retry.
+			ch := r.Loc.Channel
+			if h.ctrls[ch].CanEnqueue() {
+				h.ctrls[ch].Enqueue(r, now)
+			}
+		}
+		kept = append(kept, r)
+	}
+	h.backlog = kept
+}
+
+// Access implements cpu.Memory.
+func (h *hierarchy) Access(now dram.Cycle, core int, req *mem.Request) (dram.Cycle, *mem.Request, bool) {
+	addr := req.Addr
+	if cpu.IsNC(addr) {
+		// Non-cacheable: straight to DRAM.
+		req.Addr = cpu.StripNC(addr)
+		req.Loc = h.geo.Decompose(req.Addr)
+		if !h.ctrls[req.Loc.Channel].Enqueue(req, now) {
+			req.Addr = addr // restore tag for the retry
+			return 0, nil, false
+		}
+		return 0, req, true
+	}
+
+	if len(h.backlog) >= backlogCap {
+		return 0, nil, false // write-back pressure: stall the core
+	}
+
+	line := addr / uint64(h.geo.LineBytes)
+	// A miss needs a fill slot in the target channel's queue; check
+	// before touching the LLC so backpressured misses don't allocate
+	// lines they never fetched.
+	if !h.llc.Contains(line) {
+		loc := h.geo.Decompose(addr)
+		if !h.ctrls[loc.Channel].CanEnqueue() {
+			return 0, nil, false
+		}
+	}
+	res := h.llc.Access(line, req.IsWrite)
+	if res.Evicted && res.EvictedDirty {
+		wb := h.getReq()
+		wb.Addr = res.EvictedKey * uint64(h.geo.LineBytes)
+		wb.Loc = h.geo.Decompose(wb.Addr)
+		wb.IsWrite = true
+		wb.Core = -1
+		wb.EnqueuedAt = -1
+		if !h.ctrls[wb.Loc.Channel].Enqueue(wb, now) {
+			wb.EnqueuedAt = -1 // admission failed; flush() retries
+		}
+		h.backlog = append(h.backlog, wb)
+	}
+	if res.Hit {
+		return h.llcLat, nil, true
+	}
+	// Miss: fetch the line from DRAM (writes allocate and complete when
+	// the fill returns; the dirty data stays in the LLC).
+	req.Loc = h.geo.Decompose(addr)
+	wasWrite := req.IsWrite
+	req.IsWrite = false // the DRAM side sees a fill read
+	if !h.ctrls[req.Loc.Channel].Enqueue(req, now) {
+		req.IsWrite = wasWrite
+		return 0, nil, false
+	}
+	return 0, req, true
+}

@@ -1,0 +1,84 @@
+package sketch
+
+import "dapper/internal/llbc"
+
+// CountingBloom is a counting Bloom filter: k hash functions over a
+// single array of m counters. BlockHammer uses a pair of these to
+// estimate per-row activation rates and blacklist rows whose estimate
+// exceeds a threshold (§VI-I). Like Count-Min, estimates only ever
+// overestimate, which is what makes false-positive throttling of benign
+// rows BlockHammer's weakness at low RowHammer thresholds.
+type CountingBloom struct {
+	m       int
+	k       int
+	counts  []uint32
+	hashMul []uint64
+	hashAdd []uint64
+}
+
+// NewCountingBloom returns a filter with m counters and k hash functions,
+// keyed from seed.
+func NewCountingBloom(m, k int, seed uint64) *CountingBloom {
+	if m <= 0 || k <= 0 {
+		panic("sketch: CountingBloom dimensions must be positive")
+	}
+	cb := &CountingBloom{
+		m:       m,
+		k:       k,
+		counts:  make([]uint32, m),
+		hashMul: make([]uint64, k),
+		hashAdd: make([]uint64, k),
+	}
+	ks := llbc.KeyStream(seed, 2*k)
+	for i := 0; i < k; i++ {
+		cb.hashMul[i] = ks[2*i] | 1
+		cb.hashAdd[i] = ks[2*i+1]
+	}
+	return cb
+}
+
+// M returns the counter-array size.
+func (cb *CountingBloom) M() int { return cb.m }
+
+// K returns the number of hash functions.
+func (cb *CountingBloom) K() int { return cb.k }
+
+func (cb *CountingBloom) index(i int, key uint64) int {
+	h := (key*cb.hashMul[i] + cb.hashAdd[i])
+	h ^= h >> 29
+	return int(h % uint64(cb.m))
+}
+
+// Add increments the counters of key and returns the new estimate.
+func (cb *CountingBloom) Add(key uint64) uint32 {
+	est := ^uint32(0)
+	for i := 0; i < cb.k; i++ {
+		j := cb.index(i, key)
+		if cb.counts[j] != ^uint32(0) {
+			cb.counts[j]++
+		}
+		if cb.counts[j] < est {
+			est = cb.counts[j]
+		}
+	}
+	return est
+}
+
+// Estimate returns the current estimate for key.
+func (cb *CountingBloom) Estimate(key uint64) uint32 {
+	est := ^uint32(0)
+	for i := 0; i < cb.k; i++ {
+		if c := cb.counts[cb.index(i, key)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Reset zeroes all counters (BlockHammer swaps/clears filters at epoch
+// boundaries).
+func (cb *CountingBloom) Reset() {
+	for i := range cb.counts {
+		cb.counts[i] = 0
+	}
+}

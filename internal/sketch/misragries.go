@@ -1,0 +1,118 @@
+package sketch
+
+// MisraGries is a Misra-Gries frequent-items summary with a spillover
+// counter, the structure ABACUS builds its tracker from (§III-A). It
+// maintains at most K (key, count) entries plus one spillover counter.
+//
+// Semantics (the ABACuS formulation):
+//   - A tracked key's occurrence increments its counter.
+//   - An untracked key replaces an entry whose count <= spillover (a
+//     "dead" entry), entering with count = spillover + 1.
+//   - If no entry is replaceable, the spillover counter increments and
+//     the occurrence is absorbed there.
+//
+// Two properties follow. Safety: Count(key) — the stored count, or the
+// spillover value for untracked keys — never underestimates the key's
+// true occurrence count, so no aggressor is missed. Attack surface: a
+// stream of distinct keys through a full table raises spillover once per
+// ~K activations, so spillover reaches the mitigation threshold NM after
+// about K x NM activations — exactly the paper's "overflow every
+// N x NRH/2 activations" Perf-Attack window (§III-B, D.1).
+type MisraGries struct {
+	k           int
+	counts      map[uint64]uint32
+	spill       uint32
+	replaceable []uint64 // keys whose count was <= spill at last rebuild
+}
+
+// NewMisraGries returns a summary holding at most k tracked entries.
+func NewMisraGries(k int) *MisraGries {
+	if k <= 0 {
+		panic("sketch: MisraGries k must be positive")
+	}
+	return &MisraGries{k: k, counts: make(map[uint64]uint32, k)}
+}
+
+// K returns the entry capacity.
+func (mg *MisraGries) K() int { return mg.k }
+
+// Len returns the number of tracked entries.
+func (mg *MisraGries) Len() int { return len(mg.counts) }
+
+// Spillover returns the current spillover counter.
+func (mg *MisraGries) Spillover() uint32 { return mg.spill }
+
+// Add records one occurrence of key and returns the key's count after
+// the update (the spillover value if the occurrence was absorbed there).
+func (mg *MisraGries) Add(key uint64) uint32 {
+	if c, ok := mg.counts[key]; ok {
+		mg.counts[key] = c + 1
+		return c + 1
+	}
+	if len(mg.counts) < mg.k {
+		mg.counts[key] = mg.spill + 1
+		return mg.spill + 1
+	}
+	// Replace a dead entry if one exists (count <= spill). The
+	// replaceable list is rebuilt lazily when spill increments, so pop
+	// entries and skip stale ones (their count grew since the rebuild).
+	for len(mg.replaceable) > 0 {
+		victim := mg.replaceable[len(mg.replaceable)-1]
+		mg.replaceable = mg.replaceable[:len(mg.replaceable)-1]
+		if c, ok := mg.counts[victim]; ok && c <= mg.spill {
+			delete(mg.counts, victim)
+			mg.counts[key] = mg.spill + 1
+			return mg.spill + 1
+		}
+	}
+	// No replaceable entry: absorb into spillover and mark newly dead
+	// entries replaceable. The rebuild is O(K) but happens at most once
+	// per K-ish inserts, keeping Add amortized O(1).
+	mg.spill++
+	for k, c := range mg.counts {
+		if c <= mg.spill {
+			mg.replaceable = append(mg.replaceable, k)
+		}
+	}
+	return mg.spill
+}
+
+// Count returns the stored count for key, or the spillover value if the
+// key is not tracked. It never underestimates the true occurrence count.
+func (mg *MisraGries) Count(key uint64) uint32 {
+	if c, ok := mg.counts[key]; ok {
+		return c
+	}
+	return mg.spill
+}
+
+// Tracked reports whether key currently has a dedicated entry.
+func (mg *MisraGries) Tracked(key uint64) bool {
+	_, ok := mg.counts[key]
+	return ok
+}
+
+// SetCount overwrites the stored count for a tracked key (ABACUS resets
+// a mitigated entry to the spillover value rather than deleting it).
+func (mg *MisraGries) SetCount(key uint64, v uint32) {
+	if _, ok := mg.counts[key]; ok {
+		mg.counts[key] = v
+		if v <= mg.spill {
+			mg.replaceable = append(mg.replaceable, key)
+		}
+	}
+}
+
+// Reset clears all entries and the spillover counter.
+func (mg *MisraGries) Reset() {
+	mg.counts = make(map[uint64]uint32, mg.k)
+	mg.spill = 0
+	mg.replaceable = mg.replaceable[:0]
+}
+
+// Entries invokes fn for every tracked (key, count) pair.
+func (mg *MisraGries) Entries(fn func(key uint64, count uint32)) {
+	for k, c := range mg.counts {
+		fn(k, c)
+	}
+}

@@ -1,0 +1,151 @@
+// Package stats provides the small statistical helpers used throughout
+// the experiment harness: arithmetic and geometric means, normalization,
+// and simple aggregation by key.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice.
+// All inputs must be positive; non-positive values are skipped.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies its input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Grouped accumulates values under string keys and reports per-key means.
+// It is used to aggregate per-workload results into per-suite results.
+type Grouped struct {
+	order []string
+	vals  map[string][]float64
+}
+
+// NewGrouped returns an empty Grouped accumulator.
+func NewGrouped() *Grouped {
+	return &Grouped{vals: make(map[string][]float64)}
+}
+
+// Add appends v under key, remembering first-seen key order.
+func (g *Grouped) Add(key string, v float64) {
+	if _, ok := g.vals[key]; !ok {
+		g.order = append(g.order, key)
+	}
+	g.vals[key] = append(g.vals[key], v)
+}
+
+// Keys returns keys in first-insertion order.
+func (g *Grouped) Keys() []string { return append([]string(nil), g.order...) }
+
+// Values returns the raw values recorded under key.
+func (g *Grouped) Values(key string) []float64 { return g.vals[key] }
+
+// Mean returns the arithmetic mean of the values recorded under key.
+func (g *Grouped) Mean(key string) float64 { return Mean(g.vals[key]) }
+
+// Count returns how many values were recorded under key.
+func (g *Grouped) Count(key string) int { return len(g.vals[key]) }
+
+// FormatPct renders a fraction (e.g. 0.013) as a percentage string
+// ("1.3%") with one decimal.
+func FormatPct(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}
+
+// Slowdown converts a normalized performance value (e.g. 0.87) into a
+// slowdown fraction (0.13). Values above 1 clamp to 0.
+func Slowdown(normPerf float64) float64 {
+	if normPerf >= 1 {
+		return 0
+	}
+	return 1 - normPerf
+}

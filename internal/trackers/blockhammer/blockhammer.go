@@ -1,0 +1,157 @@
+// Package blockhammer implements the BlockHammer baseline (Yaglikci et
+// al., HPCA 2021; paper §VI-I). BlockHammer estimates per-row activation
+// rates with paired counting Bloom filters over rotating epochs and
+// throttles (delays) activations of rows whose estimate crosses the
+// blacklist threshold, pacing them so no row can reach NRH within
+// tREFW. Because Bloom estimates only overestimate, benign rows that
+// collide with hot filter counters get throttled too — the false-
+// positive slowdown that explodes at ultra-low NRH (25% at 500, 66% at
+// 125 in the paper's Figure 14).
+package blockhammer
+
+import (
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/sketch"
+)
+
+// Config parameterises BlockHammer.
+type Config struct {
+	Geometry dram.Geometry
+	NRH      uint32
+	// FilterCounters is the CBF size per bank (original design: 1K
+	// counters, 4 hashes).
+	FilterCounters int
+	FilterHashes   int
+	// Window is the observation window (tREFW); epochs are Window/2.
+	Window dram.Cycle
+	Seed   uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FilterCounters == 0 {
+		c.FilterCounters = 1024
+	}
+	if c.FilterHashes == 0 {
+		c.FilterHashes = 4
+	}
+	if c.Window == 0 {
+		c.Window = dram.DDR5().TREFW
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xB70C4
+	}
+	return c
+}
+
+// NBL returns the blacklisting threshold (NRH/2: a row halfway to the
+// threshold within a window gets paced).
+func (c Config) NBL() uint32 { return c.NRH / 2 }
+
+// Delay returns the enforced minimum spacing between activations of a
+// blacklisted row: the remaining budget (NRH - NBL) spread over a full
+// window, i.e. 2*tREFW/NRH.
+func (c Config) Delay() dram.Cycle {
+	w := c.Window
+	if w == 0 {
+		w = dram.DDR5().TREFW
+	}
+	return 2 * w / dram.Cycle(c.NRH)
+}
+
+// Tracker is one channel's BlockHammer instance.
+type Tracker struct {
+	cfg      Config
+	channel  int
+	filters  []*sketch.CountingBloom // per flat bank, active epoch
+	previous []*sketch.CountingBloom // previous epoch (history term)
+	lastAct  map[uint64]dram.Cycle   // blacklisted rows' last allowed ACT
+	epochEnd dram.Cycle
+	stats    rh.Stats
+}
+
+// New builds a BlockHammer instance for one channel.
+func New(channel int, cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{
+		cfg:      cfg,
+		channel:  channel,
+		filters:  make([]*sketch.CountingBloom, cfg.Geometry.BanksPerChannel()),
+		previous: make([]*sketch.CountingBloom, cfg.Geometry.BanksPerChannel()),
+		lastAct:  make(map[uint64]dram.Cycle),
+		epochEnd: cfg.Window / 2,
+	}
+	for b := range t.filters {
+		t.filters[b] = sketch.NewCountingBloom(cfg.FilterCounters, cfg.FilterHashes, cfg.Seed^uint64(channel)<<20^uint64(b))
+		t.previous[b] = sketch.NewCountingBloom(cfg.FilterCounters, cfg.FilterHashes, cfg.Seed^uint64(channel)<<20^uint64(b)^0xEE)
+	}
+	return t
+}
+
+// Name implements rh.Tracker.
+func (t *Tracker) Name() string { return "BlockHammer" }
+
+func key(fb int, row uint32) uint64 { return uint64(fb)<<32 | uint64(row) }
+
+// estimate combines the two epoch filters (activations in the current
+// window cannot exceed their sum).
+func (t *Tracker) estimate(fb int, row uint32) uint32 {
+	return t.filters[fb].Estimate(key(fb, row)) + t.previous[fb].Estimate(key(fb, row))/2
+}
+
+// NextAllowed implements rh.Throttler: blacklisted rows are paced to
+// Delay() between activations.
+func (t *Tracker) NextAllowed(now dram.Cycle, loc dram.Loc) dram.Cycle {
+	fb := t.cfg.Geometry.FlatBank(loc)
+	if t.estimate(fb, loc.Row) < t.cfg.NBL() {
+		return now
+	}
+	k := key(fb, loc.Row)
+	last, ok := t.lastAct[k]
+	if !ok {
+		return now
+	}
+	allowed := last + t.cfg.Delay()
+	if allowed < now {
+		return now
+	}
+	return allowed
+}
+
+// OnActivate implements rh.Tracker: count the activation; record pacing
+// state for blacklisted rows. BlockHammer never refreshes — throttling
+// alone keeps every row below NRH per window.
+func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh.Action {
+	t.stats.Activations++
+	fb := t.cfg.Geometry.FlatBank(loc)
+	k := key(fb, loc.Row)
+	est := t.filters[fb].Add(k)
+	if est+t.previous[fb].Estimate(k)/2 >= t.cfg.NBL() {
+		t.lastAct[k] = now
+		t.stats.Throttled++
+	}
+	return buf
+}
+
+// Tick implements rh.Tracker: rotate filter epochs every Window/2.
+func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
+	if now < t.epochEnd {
+		return buf
+	}
+	t.epochEnd += t.cfg.Window / 2
+	t.filters, t.previous = t.previous, t.filters
+	for b := range t.filters {
+		t.filters[b].Reset()
+	}
+	t.lastAct = make(map[uint64]dram.Cycle)
+	return buf
+}
+
+// Stats implements rh.Tracker.
+func (t *Tracker) Stats() rh.Stats { return t.stats }
+
+// Blacklisted reports whether a row is currently paced (test hook).
+func (t *Tracker) Blacklisted(loc dram.Loc) bool {
+	fb := t.cfg.Geometry.FlatBank(loc)
+	return t.estimate(fb, loc.Row) >= t.cfg.NBL()
+}

@@ -1,0 +1,247 @@
+// Package comet implements the CoMeT baseline tracker (Bostanci et al.,
+// HPCA 2024; paper §III-A). CoMeT counts activations in a per-bank
+// Count-Min Sketch (4 hash functions x 512 counters) with mitigation
+// threshold NRH/4. Because sketch counters are shared they cannot be
+// reset after a mitigation, so recently mitigated rows move to a
+// Recent Aggressor Table (RAT, 128 entries) with exact counters. The
+// structures reset every tREFW/3 by refreshing every DRAM row in the
+// rank (~2.4ms of blocking), and an extra reset fires when the RAT miss
+// rate over a 256-event history exceeds 25% — the lever the paper's
+// Perf-Attack (Figure 2c) pulls by cycling more aggressors than the RAT
+// can hold.
+package comet
+
+import (
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/sketch"
+)
+
+// Config parameterises CoMeT per the original design.
+type Config struct {
+	Geometry dram.Geometry
+	NRH      uint32
+	// Hashes x CountersPerHash is the per-bank Count-Min Sketch (4x512).
+	Hashes          int
+	CountersPerHash int
+	// RATEntries is the Recent Aggressor Table size (128).
+	RATEntries int
+	// MissHistory is the sliding window for the miss-rate trigger (256).
+	MissHistory int
+	// MissRateReset triggers an early reset (0.25).
+	MissRateReset float64
+	// ResetPeriod is the periodic full reset (tREFW/3).
+	ResetPeriod dram.Cycle
+	Seed        uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hashes == 0 {
+		c.Hashes = 4
+	}
+	if c.CountersPerHash == 0 {
+		c.CountersPerHash = 512
+	}
+	if c.RATEntries == 0 {
+		c.RATEntries = 128
+	}
+	if c.MissHistory == 0 {
+		c.MissHistory = 256
+	}
+	if c.MissRateReset == 0 {
+		c.MissRateReset = 0.25
+	}
+	if c.ResetPeriod == 0 {
+		c.ResetPeriod = dram.DDR5().TREFW / 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC03E7
+	}
+	return c
+}
+
+// NCT returns the sketch mitigation threshold (NRH/4, §III-A).
+func (c Config) NCT() uint32 { return c.NRH / 4 }
+
+// NM returns the RAT re-mitigation threshold (NRH/2).
+func (c Config) NM() uint32 { return c.NRH / 2 }
+
+// ratEntry is one exact-counter entry with LRU bookkeeping.
+type ratEntry struct {
+	key   uint64
+	count uint32
+	used  uint64
+}
+
+// Tracker is one channel's CoMeT instance.
+type Tracker struct {
+	cfg      Config
+	channel  int
+	sketches []*sketch.CountMin // per flat bank
+	rat      []ratEntry         // per channel, LRU
+	ratTick  uint64
+
+	// Sliding miss history for the early-reset trigger.
+	history     []bool // true = RAT miss on a saturated row
+	histPos     int
+	histFilled  bool
+	misses      int
+	cooldownTil dram.Cycle
+
+	nextReset dram.Cycle
+	stats     rh.Stats
+	earlyRst  uint64
+	periodRst uint64
+}
+
+// New builds a CoMeT tracker for one channel.
+func New(channel int, cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{
+		cfg:       cfg,
+		channel:   channel,
+		sketches:  make([]*sketch.CountMin, cfg.Geometry.BanksPerChannel()),
+		rat:       make([]ratEntry, 0, cfg.RATEntries),
+		history:   make([]bool, cfg.MissHistory),
+		nextReset: cfg.ResetPeriod,
+	}
+	for b := range t.sketches {
+		t.sketches[b] = sketch.NewCountMin(cfg.Hashes, cfg.CountersPerHash, cfg.Seed^uint64(channel)<<20^uint64(b))
+	}
+	return t
+}
+
+// Name implements rh.Tracker.
+func (t *Tracker) Name() string { return "CoMeT" }
+
+func (t *Tracker) ratFind(key uint64) *ratEntry {
+	for i := range t.rat {
+		if t.rat[i].key == key {
+			return &t.rat[i]
+		}
+	}
+	return nil
+}
+
+// ratInsert adds key, evicting the LRU entry when full.
+func (t *Tracker) ratInsert(key uint64) {
+	t.ratTick++
+	if len(t.rat) < t.cfg.RATEntries {
+		t.rat = append(t.rat, ratEntry{key: key, used: t.ratTick})
+		return
+	}
+	lru := 0
+	for i := 1; i < len(t.rat); i++ {
+		if t.rat[i].used < t.rat[lru].used {
+			lru = i
+		}
+	}
+	t.rat[lru] = ratEntry{key: key, used: t.ratTick}
+}
+
+// recordHistory pushes one hit/miss sample and reports whether the
+// early-reset condition is met.
+func (t *Tracker) recordHistory(miss bool) bool {
+	old := t.history[t.histPos]
+	if t.histFilled && old {
+		t.misses--
+	}
+	t.history[t.histPos] = miss
+	if miss {
+		t.misses++
+	}
+	t.histPos++
+	if t.histPos == len(t.history) {
+		t.histPos = 0
+		t.histFilled = true
+	}
+	if !t.histFilled {
+		return false
+	}
+	return float64(t.misses)/float64(len(t.history)) > t.cfg.MissRateReset
+}
+
+// OnActivate implements rh.Tracker.
+func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh.Action {
+	t.stats.Activations++
+	fb := t.cfg.Geometry.FlatBank(loc)
+	key := uint64(fb)<<32 | uint64(loc.Row)
+
+	if e := t.ratFind(key); e != nil {
+		// Exact tracking of a recently mitigated row.
+		t.ratTick++
+		e.used = t.ratTick
+		e.count++
+		if e.count >= t.cfg.NM() {
+			e.count = 0
+			t.stats.Mitigations++
+			t.stats.VictimRefreshes++
+			buf = append(buf, rh.Action{Kind: rh.RefreshVictims, Loc: loc, Row: loc.Row})
+			// A mitigation served from the RAT: a "hit" sample for the
+			// miss history (the RAT is doing its job).
+			t.recordHistory(false)
+		}
+		return buf
+	}
+
+	est := t.sketches[fb].Add(key)
+	if est < t.cfg.NCT() {
+		return buf
+	}
+	// Saturated sketch counter and the row is not in the RAT: mitigate
+	// and start exact tracking. This is also a "RAT miss" sample — an
+	// adversary cycling many aggressors keeps this rate high.
+	t.stats.Mitigations++
+	t.stats.VictimRefreshes++
+	buf = append(buf, rh.Action{Kind: rh.RefreshVictims, Loc: loc, Row: loc.Row})
+	t.ratInsert(key)
+	if t.recordHistory(true) && now >= t.cooldownTil {
+		buf = t.reset(now, buf, true)
+	}
+	return buf
+}
+
+// reset clears all structures and issues the rank-wide refresh sweeps.
+func (t *Tracker) reset(now dram.Cycle, buf []rh.Action, early bool) []rh.Action {
+	if early {
+		t.earlyRst++
+	} else {
+		t.periodRst++
+	}
+	t.stats.BulkResets++
+	for b := range t.sketches {
+		t.sketches[b].Reset()
+	}
+	t.rat = t.rat[:0]
+	for i := range t.history {
+		t.history[i] = false
+	}
+	t.histPos, t.misses, t.histFilled = 0, 0, false
+	// Refreshing all rows takes ~2.4ms; don't re-trigger until done.
+	t.cooldownTil = now + dram.DDR5().BulkSweep(t.cfg.Geometry.RowsPerBank)
+	for rk := 0; rk < t.cfg.Geometry.Ranks; rk++ {
+		buf = append(buf, rh.Action{Kind: rh.BulkRefreshRank, Loc: dram.Loc{Channel: t.channel, Rank: rk}})
+	}
+	return buf
+}
+
+// Tick implements rh.Tracker: the periodic tREFW/3 reset.
+func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
+	if now < t.nextReset {
+		return buf
+	}
+	t.nextReset += t.cfg.ResetPeriod
+	return t.reset(now, buf, false)
+}
+
+// Stats implements rh.Tracker.
+func (t *Tracker) Stats() rh.Stats { return t.stats }
+
+// EarlyResets returns attack-triggered reset count (observability).
+func (t *Tracker) EarlyResets() uint64 { return t.earlyRst }
+
+// PeriodicResets returns scheduled reset count.
+func (t *Tracker) PeriodicResets() uint64 { return t.periodRst }
+
+// RATLen exposes the RAT occupancy (test hook).
+func (t *Tracker) RATLen() int { return len(t.rat) }

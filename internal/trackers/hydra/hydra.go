@@ -1,0 +1,195 @@
+// Package hydra implements the Hydra baseline tracker (Qureshi et al.,
+// ISCA 2022; paper §III-A). Hydra is a hybrid: a Group Counter Table
+// (GCT) tracks 128-row groups until a group reaches NGC = 0.8 x NM,
+// after which the group's rows are tracked individually. Per-row
+// counters live in a reserved DRAM region (the Row Counter Table, RCT)
+// with a small SRAM Row Counter Cache (RCC: 4K entries per rank, 32-way,
+// random eviction) in front. Every RCC miss costs one DRAM read (fetch)
+// plus one DRAM write (evicted counter update) — the shared-structure
+// traffic that the paper's Perf-Attack (Figure 2a) saturates.
+package hydra
+
+import (
+	"dapper/internal/cache"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+// Config parameterises Hydra per the original design.
+type Config struct {
+	Geometry dram.Geometry
+	NRH      uint32
+	// GroupSize is rows per group counter (original design: 128).
+	GroupSize int
+	// RCCEntries is the Row Counter Cache capacity per rank (4K).
+	RCCEntries int
+	// RCCWays is the RCC associativity (32, random eviction).
+	RCCWays int
+	// ResetWindow clears all structures (tREFW).
+	ResetWindow dram.Cycle
+	Seed        uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.GroupSize == 0 {
+		c.GroupSize = 128
+	}
+	if c.RCCEntries == 0 {
+		c.RCCEntries = 4096
+	}
+	if c.RCCWays == 0 {
+		c.RCCWays = 32
+	}
+	if c.ResetWindow == 0 {
+		c.ResetWindow = dram.DDR5().TREFW
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x44D8A
+	}
+	return c
+}
+
+// NM returns the mitigation threshold NRH/2.
+func (c Config) NM() uint32 { return c.NRH / 2 }
+
+// NGC returns the group-counter threshold: 80% of NM (§III-A).
+func (c Config) NGC() uint32 { return c.NM() * 8 / 10 }
+
+// Tracker is one channel's Hydra instance.
+type Tracker struct {
+	cfg     Config
+	channel int
+	ranks   []rankState
+	nextRst dram.Cycle
+	stats   rh.Stats
+}
+
+type rankState struct {
+	gct []uint32          // group counters
+	rcc *cache.Cache      // which per-row counters are SRAM-resident
+	rct map[uint64]uint32 // authoritative per-row counts ("in DRAM")
+}
+
+// New builds a Hydra tracker for one channel.
+func New(channel int, cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{
+		cfg:     cfg,
+		channel: channel,
+		ranks:   make([]rankState, cfg.Geometry.Ranks),
+		nextRst: cfg.ResetWindow,
+	}
+	groups := int(cfg.Geometry.RowsPerRank()) / cfg.GroupSize
+	for r := range t.ranks {
+		t.ranks[r] = rankState{
+			gct: make([]uint32, groups),
+			rcc: cache.MustNew(cache.Config{
+				Sets:   cfg.RCCEntries / cfg.RCCWays,
+				Ways:   cfg.RCCWays,
+				Policy: cache.Random,
+				Seed:   cfg.Seed ^ uint64(channel)<<24 ^ uint64(r),
+			}),
+			rct: make(map[uint64]uint32),
+		}
+	}
+	return t
+}
+
+// Name implements rh.Tracker.
+func (t *Tracker) Name() string { return "Hydra" }
+
+// OnActivate implements rh.Tracker.
+func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh.Action {
+	t.stats.Activations++
+	rk := &t.ranks[loc.Rank]
+	idx := t.cfg.Geometry.RankRowIndex(loc)
+	g := idx / uint64(t.cfg.GroupSize)
+
+	if rk.gct[g] < t.cfg.NGC() {
+		// Group-tracking phase: cheap, SRAM-only.
+		rk.gct[g]++
+		if rk.gct[g] == t.cfg.NGC() {
+			// Transition to per-row tracking: rows inherit the group
+			// count (conservative, as in the original design).
+			base := g * uint64(t.cfg.GroupSize)
+			for i := uint64(0); i < uint64(t.cfg.GroupSize); i++ {
+				rk.rct[base+i] = rk.gct[g]
+			}
+		}
+		return buf
+	}
+
+	// Per-row phase: the counter must be in the RCC to be updated.
+	res := rk.rcc.Access(idx, true)
+	if !res.Hit {
+		// Fetch from the RCT in DRAM, write back the displaced counter.
+		buf = append(buf, rh.Action{Kind: rh.InjectRead, Loc: t.counterLoc(idx)})
+		t.stats.InjectedReads++
+		if res.Evicted {
+			buf = append(buf, rh.Action{Kind: rh.InjectWrite, Loc: t.counterLoc(res.EvictedKey)})
+			t.stats.InjectedWrites++
+		}
+	}
+	rk.rct[idx]++
+	if rk.rct[idx] >= t.cfg.NM() {
+		rk.rct[idx] = 0
+		t.stats.Mitigations++
+		t.stats.VictimRefreshes++
+		buf = append(buf, rh.Action{Kind: rh.RefreshVictims, Loc: loc, Row: loc.Row})
+	}
+	return buf
+}
+
+// counterLoc maps a per-row counter to its home in the reserved DRAM
+// region: counters pack 32 to a cache line, lines stripe across the
+// channel's banks at the top of the row space.
+func (t *Tracker) counterLoc(idx uint64) dram.Loc {
+	g := t.cfg.Geometry
+	line := idx / 32
+	banks := uint64(g.BanksPerChannel())
+	bank := int(line % banks)
+	inBank := line / banks
+	return dram.Loc{
+		Channel:   t.channel,
+		Rank:      bank / g.BanksPerRank(),
+		BankGroup: (bank % g.BanksPerRank()) / g.BanksPerGroup,
+		Bank:      bank % g.BanksPerGroup,
+		Row:       g.RowsPerBank - 1 - uint32(inBank/uint64(g.BlocksPerRow()))%256,
+		Col:       int(inBank % uint64(g.BlocksPerRow())),
+	}
+}
+
+// Tick implements rh.Tracker: periodic structure reset every tREFW.
+func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
+	if now < t.nextRst {
+		return buf
+	}
+	t.nextRst += t.cfg.ResetWindow
+	for r := range t.ranks {
+		rk := &t.ranks[r]
+		for i := range rk.gct {
+			rk.gct[i] = 0
+		}
+		rk.rcc.Reset()
+		rk.rct = make(map[uint64]uint32)
+	}
+	return buf
+}
+
+// Stats implements rh.Tracker.
+func (t *Tracker) Stats() rh.Stats { return t.stats }
+
+// RCCHitRate reports the row-counter-cache hit rate (observability for
+// the Perf-Attack experiments).
+func (t *Tracker) RCCHitRate(rank int) float64 { return t.ranks[rank].rcc.HitRate() }
+
+// GroupCount exposes a GCT entry (test hook).
+func (t *Tracker) GroupCount(loc dram.Loc) uint32 {
+	idx := t.cfg.Geometry.RankRowIndex(loc)
+	return t.ranks[loc.Rank].gct[idx/uint64(t.cfg.GroupSize)]
+}
+
+// RowCount exposes a per-row counter (test hook).
+func (t *Tracker) RowCount(loc dram.Loc) uint32 {
+	return t.ranks[loc.Rank].rct[t.cfg.Geometry.RankRowIndex(loc)]
+}

@@ -1,0 +1,172 @@
+// Package para implements the two stateless/probabilistic baselines of
+// §VI-J: PARA (Kim et al., ISCA 2014) and PrIDE (Jaleel et al., ISCA
+// 2024). PARA refreshes an activated row's neighbors with probability p
+// on every activation. PrIDE samples activations into a small per-bank
+// queue and drains it with periodic RFM-style mitigations every few
+// activations. Both are immune to counter attacks (no shared state) but
+// pay mitigation bandwidth that grows as NRH falls — and pay much more
+// when each mitigation must use Same-Bank RFM/DRFM commands (Figures
+// 15-16).
+package para
+
+import (
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+// PARACoefficient calibrates PARA's refresh probability p = coeff/NRH.
+// The value reproduces the paper's ~3% benign slowdown at NRH 500
+// (Figure 15); PARA's published security analysis puts p in the same
+// regime.
+const PARACoefficient = 8.0
+
+// PARA is the classic probabilistic defense.
+type PARA struct {
+	geo   dram.Geometry
+	mode  rh.MitigationMode
+	pFix  uint64 // p in 2^-64 fixed point
+	rng   uint64
+	stats rh.Stats
+}
+
+// NewPARA builds PARA for a threshold; mode selects the mitigation
+// command (VRR1 or DRFMsb in the paper's comparison).
+func NewPARA(channel int, geo dram.Geometry, nrh uint32, mode rh.MitigationMode, seed uint64) *PARA {
+	p := PARACoefficient / float64(nrh)
+	if p > 1 {
+		p = 1
+	}
+	if seed == 0 {
+		seed = 0x9A4A
+	}
+	return &PARA{
+		geo:  geo,
+		mode: mode,
+		pFix: uint64(p * (1 << 63) * 2),
+		rng:  seed ^ uint64(channel)<<32 | 1,
+	}
+}
+
+// Name implements rh.Tracker.
+func (p *PARA) Name() string {
+	if p.mode == rh.DRFMsb {
+		return "PARA-DRFMsb"
+	}
+	return "PARA"
+}
+
+func (p *PARA) xorshift() uint64 {
+	p.rng ^= p.rng << 13
+	p.rng ^= p.rng >> 7
+	p.rng ^= p.rng << 17
+	return p.rng
+}
+
+// OnActivate implements rh.Tracker: mitigate with probability p.
+func (p *PARA) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh.Action {
+	p.stats.Activations++
+	if p.xorshift() < p.pFix {
+		p.stats.Mitigations++
+		p.stats.VictimRefreshes++
+		buf = append(buf, rh.Action{Kind: p.mode.ActionKind(), Loc: loc, Row: loc.Row})
+	}
+	return buf
+}
+
+// Tick implements rh.Tracker (PARA is stateless).
+func (p *PARA) Tick(now dram.Cycle, buf []rh.Action) []rh.Action { return buf }
+
+// Stats implements rh.Tracker.
+func (p *PARA) Stats() rh.Stats { return p.stats }
+
+// PrIDESampleRate is PrIDE's per-activation enqueue probability (1/16
+// per the original design).
+const PrIDESampleRate = 16
+
+// PrIDEQueueDepth is the per-bank mitigation FIFO depth.
+const PrIDEQueueDepth = 2
+
+// PrIDE is the queued probabilistic in-DRAM defense.
+type PrIDE struct {
+	geo    dram.Geometry
+	mode   rh.MitigationMode
+	period uint32 // mitigation every `period` ACTs per bank
+	rng    uint64
+	queues [][]uint32 // per flat bank, sampled rows
+	actCnt []uint32   // per flat bank, ACTs since last mitigation
+	stats  rh.Stats
+}
+
+// NewPrIDE builds PrIDE; the mitigation period scales with NRH
+// (NRH/8 activations per bank between mitigations, calibrated to the
+// paper's ~7% slowdown at NRH 500).
+func NewPrIDE(channel int, geo dram.Geometry, nrh uint32, mode rh.MitigationMode, seed uint64) *PrIDE {
+	period := nrh / 8
+	if period == 0 {
+		period = 1
+	}
+	if seed == 0 {
+		seed = 0x931DE
+	}
+	banks := geo.BanksPerChannel()
+	return &PrIDE{
+		geo:    geo,
+		mode:   mode,
+		period: period,
+		rng:    seed ^ uint64(channel)<<32 | 1,
+		queues: make([][]uint32, banks),
+		actCnt: make([]uint32, banks),
+	}
+}
+
+// Name implements rh.Tracker.
+func (p *PrIDE) Name() string {
+	if p.mode == rh.RFMsb {
+		return "PrIDE-RFMsb"
+	}
+	return "PrIDE"
+}
+
+func (p *PrIDE) xorshift() uint64 {
+	p.rng ^= p.rng << 13
+	p.rng ^= p.rng >> 7
+	p.rng ^= p.rng << 17
+	return p.rng
+}
+
+// OnActivate implements rh.Tracker: sample into the bank queue, and
+// drain one entry every `period` activations of the bank.
+func (p *PrIDE) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh.Action {
+	p.stats.Activations++
+	fb := p.geo.FlatBank(loc)
+
+	if p.xorshift()%PrIDESampleRate == 0 && len(p.queues[fb]) < PrIDEQueueDepth {
+		p.queues[fb] = append(p.queues[fb], loc.Row)
+	}
+
+	p.actCnt[fb]++
+	if p.actCnt[fb] < p.period {
+		return buf
+	}
+	p.actCnt[fb] = 0
+	// Mitigation slot: service the queue head (or the current row if
+	// the queue is empty — the RFM is issued regardless, which is what
+	// costs bandwidth).
+	row := loc.Row
+	if len(p.queues[fb]) > 0 {
+		row = p.queues[fb][0]
+		p.queues[fb] = p.queues[fb][1:]
+	}
+	p.stats.Mitigations++
+	p.stats.VictimRefreshes++
+	mloc := loc
+	mloc.Row = row
+	buf = append(buf, rh.Action{Kind: p.mode.ActionKind(), Loc: mloc, Row: row})
+	return buf
+}
+
+// Tick implements rh.Tracker.
+func (p *PrIDE) Tick(now dram.Cycle, buf []rh.Action) []rh.Action { return buf }
+
+// Stats implements rh.Tracker.
+func (p *PrIDE) Stats() rh.Stats { return p.stats }

@@ -1,0 +1,154 @@
+package para
+
+import (
+	"testing"
+
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+func geo() dram.Geometry {
+	g := dram.Baseline()
+	g.RowsPerBank = 2048
+	return g
+}
+
+func loc(rank, bg, bank int, row uint32) dram.Loc {
+	return dram.Loc{Rank: rank, BankGroup: bg, Bank: bank, Row: row}
+}
+
+func TestPARAMitigationRateMatchesP(t *testing.T) {
+	nrh := uint32(500) // p = 8/500 = 1.6%
+	p := NewPARA(0, geo(), nrh, rh.VRR1, 1)
+	mitigations := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		acts := p.OnActivate(dram.Cycle(i), loc(0, 0, 0, uint32(i%1000)), nil)
+		mitigations += len(acts)
+	}
+	rate := float64(mitigations) / n
+	want := PARACoefficient / float64(nrh)
+	if rate < want*0.8 || rate > want*1.2 {
+		t.Fatalf("mitigation rate %.4f, want ~%.4f", rate, want)
+	}
+}
+
+func TestPARARateScalesWithNRH(t *testing.T) {
+	count := func(nrh uint32) int {
+		p := NewPARA(0, geo(), nrh, rh.VRR1, 7)
+		m := 0
+		for i := 0; i < 50000; i++ {
+			m += len(p.OnActivate(dram.Cycle(i), loc(0, 0, 0, 1), nil))
+		}
+		return m
+	}
+	if c125, c4k := count(125), count(4000); c125 < c4k*8 {
+		t.Fatalf("NRH=125 mitigations (%d) should dwarf NRH=4K (%d)", c125, c4k)
+	}
+}
+
+func TestPARADRFMsbMode(t *testing.T) {
+	p := NewPARA(0, geo(), 125, rh.DRFMsb, 3)
+	if p.Name() != "PARA-DRFMsb" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	var kinds []rh.ActionKind
+	for i := 0; i < 1000; i++ {
+		for _, a := range p.OnActivate(dram.Cycle(i), loc(0, 0, 0, 1), nil) {
+			kinds = append(kinds, a.Kind)
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("no mitigations at NRH=125")
+	}
+	for _, k := range kinds {
+		if k != rh.RefreshVictimsDRFMsb {
+			t.Fatalf("kind = %d", k)
+		}
+	}
+}
+
+func TestPARADeterministicPerSeed(t *testing.T) {
+	a := NewPARA(0, geo(), 500, rh.VRR1, 5)
+	b := NewPARA(0, geo(), 500, rh.VRR1, 5)
+	for i := 0; i < 5000; i++ {
+		la := a.OnActivate(dram.Cycle(i), loc(0, 0, 0, 1), nil)
+		lb := b.OnActivate(dram.Cycle(i), loc(0, 0, 0, 1), nil)
+		if len(la) != len(lb) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPrIDEMitigationPeriod(t *testing.T) {
+	nrh := uint32(500) // period = 62 ACTs per bank
+	p := NewPrIDE(0, geo(), nrh, rh.VRR1, 1)
+	l := loc(0, 0, 0, 3)
+	mitigations := 0
+	const n = 6200
+	for i := 0; i < n; i++ {
+		mitigations += len(p.OnActivate(dram.Cycle(i), l, nil))
+	}
+	want := n / int(nrh/8)
+	if mitigations < want-2 || mitigations > want+2 {
+		t.Fatalf("mitigations = %d, want ~%d", mitigations, want)
+	}
+}
+
+func TestPrIDEPerBankPeriods(t *testing.T) {
+	p := NewPrIDE(0, geo(), 500, rh.VRR1, 2)
+	// Alternate two banks: each has its own period counter.
+	m := 0
+	for i := 0; i < 124; i++ { // 62 ACTs per bank: each fires once
+		m += len(p.OnActivate(dram.Cycle(i), loc(0, 0, i%2, 3), nil))
+	}
+	if m != 2 {
+		t.Fatalf("mitigations = %d, want 2 (one per bank)", m)
+	}
+}
+
+func TestPrIDEQueueServicesSampledRows(t *testing.T) {
+	p := NewPrIDE(0, geo(), 500, rh.VRR1, 3)
+	rows := map[uint32]bool{}
+	for i := 0; i < 100000; i++ {
+		acts := p.OnActivate(dram.Cycle(i), loc(0, 0, 0, uint32(i%50)), nil)
+		for _, a := range acts {
+			rows[a.Row] = true
+		}
+	}
+	if len(rows) < 5 {
+		t.Fatalf("mitigated only %d distinct rows; sampling broken", len(rows))
+	}
+}
+
+func TestPrIDERFMsbMode(t *testing.T) {
+	p := NewPrIDE(0, geo(), 500, rh.RFMsb, 4)
+	if p.Name() != "PrIDE-RFMsb" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	var sawRFM bool
+	for i := 0; i < 1000; i++ {
+		for _, a := range p.OnActivate(dram.Cycle(i), loc(0, 0, 0, 1), nil) {
+			if a.Kind == rh.RefreshVictimsRFMsb {
+				sawRFM = true
+			}
+		}
+	}
+	if !sawRFM {
+		t.Fatal("no RFMsb mitigations")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewPARA(0, geo(), 500, rh.VRR1, 1).Name() != "PARA" {
+		t.Fatal("PARA name")
+	}
+	if NewPrIDE(0, geo(), 500, rh.VRR1, 1).Name() != "PrIDE" {
+		t.Fatal("PrIDE name")
+	}
+}
+
+var (
+	_ rh.Tracker = (*PARA)(nil)
+	_ rh.Tracker = (*PrIDE)(nil)
+)

@@ -1,0 +1,155 @@
+// Package start implements the START baseline tracker (Saxena and
+// Qureshi, HPCA 2024; paper §III-A). START stores per-row RowHammer
+// counters in a reserved half of the last-level cache. When the row
+// population exceeds what the reserved region can hold (the paper's
+// evaluated system: 8M counters vs. 4M slots), counters spill to a
+// reserved DRAM region and the LLC half acts as a counter cache — so a
+// streaming adversary (Figure 2b) both halves the effective LLC for
+// benign applications and turns every counter miss into extra DRAM
+// reads and writes.
+package start
+
+import (
+	"dapper/internal/cache"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+// CountersPerLine is how many row counters fit one 64B cache line.
+const CountersPerLine = 32
+
+// Config parameterises START.
+type Config struct {
+	Geometry dram.Geometry
+	NRH      uint32
+	// LLCBytes is the full LLC capacity; START reserves ReservedFrac of
+	// it for counters (default half, per the paper).
+	LLCBytes     int
+	ReservedFrac float64
+	// LLCWays is the LLC associativity (16).
+	LLCWays     int
+	ResetWindow dram.Cycle
+	Seed        uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LLCBytes == 0 {
+		c.LLCBytes = 8 << 20
+	}
+	if c.ReservedFrac == 0 {
+		c.ReservedFrac = 0.5
+	}
+	if c.LLCWays == 0 {
+		c.LLCWays = 16
+	}
+	if c.ResetWindow == 0 {
+		c.ResetWindow = dram.DDR5().TREFW
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x57A27
+	}
+	return c
+}
+
+// NM returns the mitigation threshold NRH/2.
+func (c Config) NM() uint32 { return c.NRH / 2 }
+
+// Tracker is one channel's START instance.
+type Tracker struct {
+	cfg     Config
+	channel int
+	// counterCache models the reserved LLC region holding counter
+	// lines; a miss is a DRAM fetch (+ write-back when dirty).
+	counterCache *cache.Cache
+	counts       map[uint64]uint32 // authoritative per-row counts
+	nextRst      dram.Cycle
+	stats        rh.Stats
+}
+
+// New builds a START tracker for one channel.
+func New(channel int, cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	reservedBytes := int(float64(cfg.LLCBytes) * cfg.ReservedFrac)
+	lines := reservedBytes / 64
+	if lines < cfg.LLCWays {
+		lines = cfg.LLCWays
+	}
+	cc := cache.MustNew(cache.Config{
+		Sets: lines / cfg.LLCWays, Ways: cfg.LLCWays,
+		Seed: cfg.Seed ^ uint64(channel),
+	})
+	return &Tracker{
+		cfg:          cfg,
+		channel:      channel,
+		counterCache: cc,
+		counts:       make(map[uint64]uint32),
+		nextRst:      cfg.ResetWindow,
+	}
+}
+
+// Name implements rh.Tracker.
+func (t *Tracker) Name() string { return "START" }
+
+// LLCReservedFraction implements rh.LLCReserver: the system halves the
+// LLC available to applications.
+func (t *Tracker) LLCReservedFraction() float64 { return t.cfg.ReservedFrac }
+
+// OnActivate implements rh.Tracker.
+func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh.Action {
+	t.stats.Activations++
+	g := t.cfg.Geometry
+	idx := uint64(loc.Rank)*g.RowsPerRank() + g.RankRowIndex(loc)
+	line := idx / CountersPerLine
+
+	res := t.counterCache.Access(line, true)
+	if !res.Hit {
+		buf = append(buf, rh.Action{Kind: rh.InjectRead, Loc: t.counterLoc(line)})
+		t.stats.InjectedReads++
+		if res.Evicted && res.EvictedDirty {
+			buf = append(buf, rh.Action{Kind: rh.InjectWrite, Loc: t.counterLoc(res.EvictedKey)})
+			t.stats.InjectedWrites++
+		}
+	}
+	t.counts[idx]++
+	if t.counts[idx] >= t.cfg.NM() {
+		t.counts[idx] = 0
+		t.stats.Mitigations++
+		t.stats.VictimRefreshes++
+		buf = append(buf, rh.Action{Kind: rh.RefreshVictims, Loc: loc, Row: loc.Row})
+	}
+	return buf
+}
+
+// counterLoc maps a counter line to the reserved DRAM region (striped
+// across banks at the top of the row space, like Hydra's RCT).
+func (t *Tracker) counterLoc(line uint64) dram.Loc {
+	g := t.cfg.Geometry
+	banks := uint64(g.BanksPerChannel())
+	bank := int(line % banks)
+	inBank := line / banks
+	return dram.Loc{
+		Channel:   t.channel,
+		Rank:      bank / g.BanksPerRank(),
+		BankGroup: (bank % g.BanksPerRank()) / g.BanksPerGroup,
+		Bank:      bank % g.BanksPerGroup,
+		Row:       g.RowsPerBank - 1 - uint32(inBank/uint64(g.BlocksPerRow()))%256,
+		Col:       int(inBank % uint64(g.BlocksPerRow())),
+	}
+}
+
+// Tick implements rh.Tracker.
+func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
+	if now < t.nextRst {
+		return buf
+	}
+	t.nextRst += t.cfg.ResetWindow
+	t.counterCache.Reset()
+	t.counts = make(map[uint64]uint32)
+	return buf
+}
+
+// Stats implements rh.Tracker.
+func (t *Tracker) Stats() rh.Stats { return t.stats }
+
+// CounterCacheHitRate exposes the reserved-region hit rate.
+func (t *Tracker) CounterCacheHitRate() float64 { return t.counterCache.HitRate() }

@@ -1,0 +1,151 @@
+package start
+
+import (
+	"testing"
+
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+func testCfg() Config {
+	g := dram.Baseline()
+	g.RowsPerBank = 2048
+	// Small counter cache so tests can overflow it quickly.
+	return Config{Geometry: g, NRH: 500, LLCBytes: 64 * 1024}
+}
+
+func loc(rank, bg, bank int, row uint32) dram.Loc {
+	return dram.Loc{Rank: rank, BankGroup: bg, Bank: bank, Row: row}
+}
+
+func TestReservesHalfLLC(t *testing.T) {
+	tr := New(0, testCfg())
+	if tr.LLCReservedFraction() != 0.5 {
+		t.Fatalf("reserved = %v", tr.LLCReservedFraction())
+	}
+	var _ rh.LLCReserver = tr
+}
+
+func TestFirstAccessFetchesCounterLine(t *testing.T) {
+	tr := New(0, testCfg())
+	acts := tr.OnActivate(0, loc(0, 0, 0, 0), nil)
+	if len(acts) != 1 || acts[0].Kind != rh.InjectRead {
+		t.Fatalf("expected one counter fetch, got %v", acts)
+	}
+}
+
+func TestCachedCounterLineNoTraffic(t *testing.T) {
+	tr := New(0, testCfg())
+	tr.OnActivate(0, loc(0, 0, 0, 0), nil)
+	// Rows 0..31 share a counter line.
+	acts := tr.OnActivate(1, loc(0, 0, 0, 1), nil)
+	if len(acts) != 0 {
+		t.Fatalf("adjacent row refetched the line: %v", acts)
+	}
+}
+
+func TestStreamingThrashesCounterCache(t *testing.T) {
+	// Stream far more counter lines than the reserved region holds:
+	// every new line fetches, dirty evictions write back.
+	tr := New(0, testCfg())
+	reads, writes := 0, 0
+	for row := uint32(0); row < 2048; row++ {
+		for bank := 0; bank < 32; bank++ {
+			acts := tr.OnActivate(0, loc(0, bank/4, bank%4, row), nil)
+			for _, a := range acts {
+				switch a.Kind {
+				case rh.InjectRead:
+					reads++
+				case rh.InjectWrite:
+					writes++
+				}
+			}
+		}
+	}
+	if reads < 200 {
+		t.Fatalf("streaming produced only %d fetches", reads)
+	}
+	if writes == 0 {
+		t.Fatal("no dirty write-backs under thrash")
+	}
+}
+
+func TestMitigationAtNM(t *testing.T) {
+	tr := New(0, testCfg())
+	l := loc(0, 1, 1, 77)
+	var refreshes int
+	for i := 0; i < 260; i++ {
+		acts := tr.OnActivate(dram.Cycle(i), l, nil)
+		for _, a := range acts {
+			if a.Kind == rh.RefreshVictims {
+				refreshes++
+				if a.Loc.Row != 77 {
+					t.Fatalf("refreshed row %d", a.Loc.Row)
+				}
+			}
+		}
+	}
+	if refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1 (at NM=250)", refreshes)
+	}
+}
+
+func TestSecurityBound(t *testing.T) {
+	tr := New(0, testCfg())
+	l := loc(1, 0, 3, 1000)
+	since := 0
+	for i := 0; i < 2000; i++ {
+		acts := tr.OnActivate(dram.Cycle(i), l, nil)
+		since++
+		for _, a := range acts {
+			if a.Kind == rh.RefreshVictims {
+				since = 0
+			}
+		}
+		if since >= 500 {
+			t.Fatalf("row survived %d activations", since)
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	cfg := testCfg()
+	cfg.ResetWindow = 500
+	tr := New(0, cfg)
+	l := loc(0, 0, 0, 5)
+	for i := 0; i < 100; i++ {
+		tr.OnActivate(dram.Cycle(i), l, nil)
+	}
+	tr.Tick(500, nil)
+	// After reset the same row needs NM more ACTs to mitigate.
+	mitigations := tr.Stats().Mitigations
+	for i := 0; i < 200; i++ {
+		tr.OnActivate(dram.Cycle(500+i), l, nil)
+	}
+	if tr.Stats().Mitigations != mitigations {
+		t.Fatal("counter survived the reset")
+	}
+}
+
+func TestDistinctRanksDistinctCounters(t *testing.T) {
+	tr := New(0, testCfg())
+	for i := 0; i < 200; i++ {
+		tr.OnActivate(dram.Cycle(i), loc(0, 0, 0, 9), nil)
+	}
+	// Same row index in the other rank: fresh counter, no mitigation.
+	before := tr.Stats().Mitigations
+	for i := 0; i < 100; i++ {
+		tr.OnActivate(dram.Cycle(i), loc(1, 0, 0, 9), nil)
+	}
+	if tr.Stats().Mitigations != before {
+		t.Fatal("rank counters aliased")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(0, testCfg()).Name() != "START" {
+		t.Fatal("name")
+	}
+}
+
+var _ rh.Tracker = (*Tracker)(nil)
