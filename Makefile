@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build vet test bench-smoke ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every benchmark: a smoke reproduction of each table
+# and figure under the reduced bench profile.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
+
+ci: build vet test bench-smoke

@@ -6,10 +6,12 @@
 package dapper_test
 
 import (
+	"runtime"
 	"testing"
 
 	"dapper/internal/dram"
 	"dapper/internal/exp"
+	"dapper/internal/harness"
 )
 
 // benchProfile is a trimmed quick profile sized so every benchmark
@@ -108,3 +110,22 @@ func BenchmarkSecurityH(b *testing.B) { runExp(b, "sec-h") }
 // second of host time) on the standard four-core attack scenario, for
 // tracking the engine itself.
 func BenchmarkSimulatorThroughput(b *testing.B) { runExp(b, "fig11") }
+
+// BenchmarkFig11Parallel regenerates Figure 11 through the harness
+// (collect -> pool -> replay) with one worker per CPU. Compare against
+// BenchmarkFig11 to see the fan-out speedup on this machine; a fresh
+// pool per iteration keeps the result cache cold so simulations are
+// really rerun.
+func BenchmarkFig11Parallel(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		pool := harness.NewPool(harness.Options{Workers: runtime.NumCPU()})
+		tb, err := exp.Generate("fig11", p, pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("fig11 produced no rows")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Command dapper-batch runs an arbitrary tracker x workload x NRH sweep
+// straight to JSONL/CSV, without going through a paper figure. It is
+// the bulk front-end to internal/harness: every combination is one
+// cached, parallel simulation.
+//
+// Usage:
+//
+//	dapper-batch -trackers dapper-h,hydra -workloads rep -nrh 125,500,2000
+//	dapper-batch -trackers all -workloads 429.mcf -attack refresh -out sweep/
+//	dapper-batch -trackers dapper-h -mode drfmsb -nrh 500 -cache .dapper-cache
+//
+// Selectors: -trackers is a comma list of ids (see -list-trackers) or
+// "all"; -workloads is "rep", "all", or a comma list of workload names;
+// -attack is an attack kind name (see internal/attack) with "none"
+// meaning four benign copies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dapper/internal/attack"
+	"dapper/internal/exp"
+	"dapper/internal/harness"
+	"dapper/internal/rh"
+	"dapper/internal/workloads"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func main() {
+	trackers := flag.String("trackers", "dapper-h", "comma list of tracker ids, or 'all'")
+	wsel := flag.String("workloads", "rep", "'rep', 'all', or comma list of workload names")
+	nrhs := flag.String("nrh", "500", "comma list of RowHammer thresholds")
+	attackName := flag.String("attack", "none", "companion attack kind ('none' = benign run)")
+	modeName := flag.String("mode", "VRR-BR1", "mitigation mode (VRR-BR1|VRR-BR2|RFMsb|DRFMsb)")
+	profile := flag.String("profile", "quick", "quick or full (windows, geometry, seed)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (<=0 = NumCPU)")
+	cacheDir := flag.String("cache", "", "disk result-cache directory")
+	outDir := flag.String("out", ".", "output directory for batch.jsonl + batch.csv")
+	listTrackers := flag.Bool("list-trackers", false, "list tracker ids and exit")
+	flag.Parse()
+
+	if *listTrackers {
+		for _, id := range exp.KnownTrackers() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var p exp.Profile
+	switch *profile {
+	case "quick":
+		p = exp.Quick()
+	case "full":
+		p = exp.Full()
+	default:
+		fatal(fmt.Errorf("unknown profile %q (quick|full)", *profile))
+	}
+
+	if *jobs <= 0 {
+		*jobs = runtime.NumCPU()
+	}
+	kind, err := attack.ParseKind(*attackName)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := rh.ParseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	trackerIDs := strings.Split(*trackers, ",")
+	if *trackers == "all" {
+		trackerIDs = exp.KnownTrackers()
+	}
+
+	var ws []workloads.Workload
+	for _, sel := range strings.Split(*wsel, ",") {
+		got, err := exp.ResolveWorkloads(strings.TrimSpace(sel))
+		if err != nil {
+			fatal(err)
+		}
+		ws = append(ws, got...)
+	}
+
+	var thresholds []uint32
+	for _, s := range strings.Split(*nrhs, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+		if err != nil {
+			fatal(fmt.Errorf("bad -nrh value %q: %v", s, err))
+		}
+		thresholds = append(thresholds, uint32(v))
+	}
+
+	req := exp.BatchRequest{
+		Trackers:  trackerIDs,
+		Workloads: ws,
+		NRHs:      thresholds,
+		Attack:    kind,
+		Mode:      mode,
+		Profile:   p,
+	}
+	batch, err := req.Jobs()
+	if err != nil {
+		fatal(err)
+	}
+
+	cache, err := harness.NewCache(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	sinks, err := harness.FileSinks(*outDir, "batch.jsonl", "batch.csv")
+	if err != nil {
+		fatal(err)
+	}
+
+	pool := harness.NewPool(harness.Options{
+		Workers: *jobs,
+		Cache:   cache,
+		Sinks:   sinks,
+		OnProgress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
+		},
+	})
+
+	start := time.Now()
+	futures := make([]*harness.Future, len(batch))
+	for i, job := range batch {
+		futures[i] = pool.Submit(job)
+	}
+	failed := 0
+	for _, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "\n%s: %v\n", f.Desc(), err)
+			failed++
+		}
+	}
+	if err := pool.Close(); err != nil {
+		fatal(err)
+	}
+	st := pool.Stats()
+	fmt.Fprintln(os.Stderr)
+	fmt.Printf("%d runs (%d simulated, %d cache hits, %d deduplicated) in %.1fs on %d workers\n",
+		st.Submitted, st.Ran, st.CacheHits, st.Submitted-st.Unique,
+		time.Since(start).Seconds(), *jobs)
+	fmt.Printf("wrote %s and %s\n",
+		filepath.Join(*outDir, "batch.jsonl"), filepath.Join(*outDir, "batch.csv"))
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d runs failed\n", failed)
+		os.Exit(1)
+	}
+}

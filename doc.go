@@ -12,6 +12,33 @@
 // paper's evaluation (internal/exp, cmd/dapper-experiments,
 // bench_test.go).
 //
+// # Experiment orchestration (internal/harness)
+//
+// Every figure is dozens-to-hundreds of independent sim.Run calls.
+// internal/harness turns them into jobs flowing through a pipeline:
+//
+//	jobs -> pool -> cache -> sinks
+//
+// A harness.Job pairs a Descriptor — the deterministic, hashable
+// identity of one run (tracker + params, workload, attack, geometry,
+// timing, NRH, mode, windows, seed) — with a closure producing the
+// sim.Result. A harness.Pool fans jobs out over a bounded worker set
+// (runtime.NumCPU() by default, -jobs flag), deduplicating by
+// descriptor key so baselines shared between figures execute once. A
+// harness.Cache memoizes results content-addressed by the descriptor
+// hash, optionally persisted as JSON under a -cache directory so a
+// rerun of the same suite simulates nothing. Completed records stream
+// to pluggable harness.Sinks (in-memory, JSONL, CSV) in submission
+// order, keeping file output deterministic at any worker count.
+//
+// Generators fan out via exp.Generate's collect/replay scheme: a
+// collect pass records every simulation the generator will request, the
+// pool executes them in parallel, and a replay pass rebuilds the table
+// from memoized results — walking exactly the serial code path, so
+// tables are byte-identical to a serial run. cmd/dapper-experiments
+// drives the paper's figures this way; cmd/dapper-batch runs arbitrary
+// tracker x workload x NRH sweeps from flags straight to JSONL/CSV.
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package dapper

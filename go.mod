@@ -1,0 +1,3 @@
+module dapper
+
+go 1.24

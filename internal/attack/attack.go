@@ -12,6 +12,7 @@ package attack
 
 import (
 	"fmt"
+	"strings"
 
 	"dapper/internal/cpu"
 	"dapper/internal/dram"
@@ -65,6 +66,23 @@ func (k Kind) String() string {
 		return "refresh"
 	}
 	return "unknown"
+}
+
+// Kinds returns every attack kind in declaration order.
+func Kinds() []Kind {
+	return []Kind{None, CacheThrash, HydraConflict, StreamingSweep,
+		RATThrash, DistinctRows, Refresh}
+}
+
+// ParseKind returns the kind whose String() matches name
+// (case-insensitively, matching rh.ParseMode's flag ergonomics).
+func ParseKind(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return None, fmt.Errorf("attack: unknown kind %q (known: %v)", name, Kinds())
 }
 
 // ForTracker returns the tailored attack the paper aims at each tracker

@@ -38,6 +38,11 @@ type Profile struct {
 	DapperMeasure dram.Cycle
 
 	Seed uint64
+
+	// hctx, when set by Generate, routes every simulation request
+	// through the harness collect/replay machinery instead of running
+	// inline. Profiles built by Quick/Full/Tiny leave it nil (serial).
+	hctx *harnessCtx
 }
 
 // Quick returns the CI/bench profile: a representative 12-workload set,

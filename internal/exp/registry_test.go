@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestOrderMatchesRegistry: Order() and the registry map must contain
+// exactly the same experiment ids — no orphans in either direction.
+func TestOrderMatchesRegistry(t *testing.T) {
+	order := Order()
+	if len(order) != len(registry) {
+		t.Fatalf("Order() has %d ids, registry has %d", len(order), len(registry))
+	}
+	seen := map[string]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("Order() lists %q twice", id)
+		}
+		seen[id] = true
+		if _, ok := registry[id]; !ok {
+			t.Fatalf("Order() lists %q but the registry lacks it", id)
+		}
+	}
+	for id := range registry {
+		if !seen[id] {
+			t.Fatalf("registry has %q but Order() omits it", id)
+		}
+	}
+}
+
+// TestIDsSorted: IDs() must return every registered id exactly once, in
+// sorted order, and repeated calls must agree (map iteration must not
+// leak through).
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("IDs() not sorted: %v", ids)
+	}
+	if len(ids) != len(registry) {
+		t.Fatalf("IDs() has %d entries, registry has %d", len(ids), len(registry))
+	}
+	for i := 0; i < 5; i++ {
+		again := IDs()
+		for j := range ids {
+			if again[j] != ids[j] {
+				t.Fatalf("IDs() unstable across calls: %v vs %v", ids, again)
+			}
+		}
+	}
+}
+
+func TestLookupErrorListsKnownIDs(t *testing.T) {
+	_, err := Lookup("fig99")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fig99") || !strings.Contains(msg, "fig11") {
+		t.Fatalf("error should name the bad id and the known ids: %v", err)
+	}
+}
+
+func TestLookupKnown(t *testing.T) {
+	for _, id := range Order() {
+		g, err := Lookup(id)
+		if err != nil || g == nil {
+			t.Fatalf("Lookup(%q) = %v, %v", id, g, err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"dapper/internal/attack"
 	"dapper/internal/cpu"
 	"dapper/internal/dram"
+	"dapper/internal/harness"
 	"dapper/internal/sim"
 	"dapper/internal/workloads"
 )
@@ -31,6 +32,31 @@ type runSpec struct {
 	warmup             dram.Cycle
 	measure            dram.Cycle
 	seed               uint64
+}
+
+// descriptor returns the spec's deterministic identity for the harness
+// cache and deduplication. Factories are always built with the spec's
+// own geometry/NRH/mode (see dapperGeoFor and the figure generators),
+// so tracker name + mode + the spec fields identify the run completely.
+func (s runSpec) descriptor() harness.Descriptor {
+	name := s.tracker.Name
+	if s.tracker.Factory == nil {
+		name = "none"
+	}
+	return harness.Descriptor{
+		Tracker:  name,
+		Mode:     s.tracker.Mode.String(),
+		NRH:      s.nrh,
+		Workload: s.workload.Name,
+		Attack:   s.attack.String(),
+		Benign4:  s.benign4,
+		Geometry: s.geo,
+		Timing:   "ddr5",
+		LLCBytes: s.llcBytes,
+		Warmup:   s.warmup,
+		Measure:  s.measure,
+		Seed:     s.seed,
+	}
 }
 
 // run executes one spec.
@@ -69,6 +95,25 @@ func newRunner(p Profile) *runner {
 	return &runner{p: p, bases: make(map[string]sim.Result)}
 }
 
+// exec satisfies one simulation request according to the profile's
+// harness mode: inline (serial), recorded as a job (collect), or served
+// from the memoized results (replay). See Generate.
+func (r *runner) exec(s runSpec) (sim.Result, error) {
+	h := r.p.hctx
+	if h == nil {
+		return run(s)
+	}
+	switch h.mode {
+	case modeCollect:
+		h.record(s)
+		return placeholderResult(), nil
+	case modeReplay:
+		return h.lookup(s)
+	default:
+		return run(s)
+	}
+}
+
 // baseline returns (computing once) the insecure reference run: same
 // benign workloads, no tracker, and either an idle companion or the
 // same attacker depending on s.baselineWithAttack.
@@ -83,7 +128,7 @@ func (r *runner) baseline(s runSpec) (sim.Result, error) {
 	if res, ok := r.bases[key]; ok {
 		return res, nil
 	}
-	res, err := run(b)
+	res, err := r.exec(b)
 	if err != nil {
 		return res, err
 	}
@@ -98,7 +143,7 @@ func (r *runner) normalized(s runSpec) (float64, sim.Result, sim.Result, error) 
 	if err != nil {
 		return 0, sim.Result{}, sim.Result{}, err
 	}
-	treat, err := run(s)
+	treat, err := r.exec(s)
 	if err != nil {
 		return 0, sim.Result{}, sim.Result{}, err
 	}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dapper/internal/sim"
+)
+
+// Cache memoizes simulation results by descriptor key. The in-memory
+// map always participates; when dir is non-empty each result is also
+// persisted as <dir>/<key>.json, so a rerun of the same experiment
+// suite (same profile, same code) resimulates nothing.
+type Cache struct {
+	dir string
+
+	mu   sync.Mutex
+	mem  map[string]sim.Result
+	hits uint64
+	miss uint64
+}
+
+// NewCache returns a cache; dir == "" keeps it memory-only.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string]sim.Result)}, nil
+}
+
+// Get returns the cached result for key, consulting memory first and
+// then disk (populating memory on a disk hit).
+func (c *Cache) Get(key string) (sim.Result, bool) {
+	c.mu.Lock()
+	if res, ok := c.mem[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		data, err := os.ReadFile(c.path(key))
+		if err == nil {
+			var res sim.Result
+			if json.Unmarshal(data, &res) == nil {
+				c.mu.Lock()
+				c.mem[key] = res
+				c.hits++
+				c.mu.Unlock()
+				return res, true
+			}
+		}
+	}
+	c.mu.Lock()
+	c.miss++
+	c.mu.Unlock()
+	return sim.Result{}, false
+}
+
+// Put stores a result under key, writing through to disk when
+// configured. Disk writes go via a temp file + rename so concurrent
+// processes sharing a cache directory never observe torn files.
+func (c *Cache) Put(key string, res sim.Result) error {
+	c.mu.Lock()
+	c.mem[key] = res
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("harness: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// Hits and Misses report lookup statistics.
+func (c *Cache) Hits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses reports failed lookups.
+func (c *Cache) Misses() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.miss
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dapper/internal/dram"
+)
+
+// Descriptor is the deterministic identity of one simulation run: every
+// knob that can change a sim.Result. Two runs with equal descriptors
+// are interchangeable, which is what makes the content-addressed cache
+// and cross-figure deduplication sound. Keep this in sync with how
+// internal/exp builds sim.Configs — any new knob must be added here (or
+// folded into Extra) before it is allowed to vary.
+type Descriptor struct {
+	// Tracker is the canonical tracker name ("none" for the insecure
+	// baseline); Mode the mitigation command flavor.
+	Tracker string `json:"tracker"`
+	Mode    string `json:"mode"`
+	NRH     uint32 `json:"nrh"`
+
+	Workload string `json:"workload"`
+	// Attack is the companion core's pattern ("none" = idle companion);
+	// Benign4 selects four homogeneous copies instead of 3+companion.
+	Attack  string `json:"attack"`
+	Benign4 bool   `json:"benign4"`
+
+	Geometry dram.Geometry `json:"geometry"`
+	// Timing tags the timing set ("ddr5" = the Table I defaults).
+	Timing   string `json:"timing"`
+	LLCBytes int    `json:"llc_bytes"` // 0 = default 8MB
+
+	Warmup  dram.Cycle `json:"warmup"`
+	Measure dram.Cycle `json:"measure"`
+	Seed    uint64     `json:"seed"`
+
+	// Extra disambiguates runs varied by a knob not listed above.
+	Extra string `json:"extra,omitempty"`
+}
+
+// Key returns the content address: a hex SHA-256 over a canonical
+// field-ordered encoding. Stable across processes and Go versions.
+func (d Descriptor) Key() string {
+	h := sha256.New()
+	g := d.Geometry
+	fmt.Fprintf(h,
+		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|benign4=%t|"+
+			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|extra=%s",
+		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.Benign4,
+		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.RowsPerBank,
+		g.RowBytes, g.LineBytes,
+		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Extra)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// String returns a short human-readable label for logs and errors.
+func (d Descriptor) String() string {
+	return fmt.Sprintf("%s/%s nrh=%d %s attack=%s", d.Tracker, d.Mode,
+		d.NRH, d.Workload, d.Attack)
+}

@@ -1,0 +1,50 @@
+// Package harness orchestrates fleets of independent simulation runs:
+// the scaling layer between the experiment generators (internal/exp)
+// and the simulator core (internal/sim).
+//
+// The moving parts, in data-flow order:
+//
+//	Job   — one simulation request: a Descriptor (the deterministic,
+//	        hashable identity of the run) plus a Run closure that
+//	        produces the sim.Result.
+//	Pool  — a bounded worker pool (runtime.NumCPU() workers by
+//	        default). Submissions are deduplicated by descriptor key,
+//	        so shared baselines across figures execute once.
+//	Cache — a content-addressed result store keyed by the descriptor
+//	        hash: always an in-memory map, optionally backed by a
+//	        directory of JSON files so whole experiment suites can be
+//	        rerun without resimulating anything.
+//	Sink  — a pluggable result consumer. Completed records are
+//	        delivered on Close in submission order (not completion
+//	        order), so JSONL/CSV outputs are deterministic regardless
+//	        of worker count.
+//
+// Generators fan out by submitting every job they will need, then
+// replaying their table construction against the memoized results —
+// output is byte-identical to a serial run at any worker count.
+package harness
+
+import "runtime"
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds concurrent simulations; <=0 means
+	// runtime.NumCPU().
+	Workers int
+	// Cache, if non-nil, memoizes results across Submit calls (and,
+	// when disk-backed, across processes).
+	Cache *Cache
+	// Sinks receive every successful record on Close, in submission
+	// order.
+	Sinks []Sink
+	// OnProgress, if non-nil, is called after each job finishes with
+	// the number of finished and submitted unique jobs.
+	OnProgress func(done, total int)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dapper/internal/sim"
+)
+
+// Job is one simulation request: its deterministic identity plus the
+// closure that produces the result. Run must be safe to execute on any
+// goroutine and must not share mutable state with other jobs (sim.Run
+// builds a fresh system per call, so exp's specs satisfy this by
+// construction).
+type Job struct {
+	Desc Descriptor
+	Run  func() (sim.Result, error)
+}
+
+// Future is the pending result of a submitted job. Wait may be called
+// from any number of goroutines.
+type Future struct {
+	desc   Descriptor
+	key    string
+	done   chan struct{}
+	res    sim.Result
+	err    error
+	cached bool
+}
+
+// Wait blocks until the job completes and returns its result.
+func (f *Future) Wait() (sim.Result, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Cached reports (after Wait) whether the result came from the cache.
+func (f *Future) Cached() bool {
+	<-f.done
+	return f.cached
+}
+
+// Desc returns the job's descriptor.
+func (f *Future) Desc() Descriptor { return f.desc }
+
+// Stats summarizes a pool's activity.
+type Stats struct {
+	Submitted int // Submit calls, including duplicates
+	Unique    int // distinct descriptor keys accepted
+	Ran       int // simulations actually executed
+	CacheHits int // results served from the cache
+	Errors    int // jobs that returned an error
+	// CacheWriteErrors counts failed memoization writes; the runs
+	// themselves still succeed.
+	CacheWriteErrors int
+}
+
+// Pool fans jobs out over a bounded set of workers, deduplicating by
+// descriptor key and consulting the cache before simulating. One pool
+// can serve many experiments; dedup and the cache then span all of
+// them (shared insecure baselines run once per process, not once per
+// figure).
+type Pool struct {
+	cache      *Cache
+	sinks      []Sink
+	onProgress func(done, total int)
+	sem        chan struct{}
+	wg         sync.WaitGroup
+
+	// cbMu serializes completion bookkeeping + progress callback so
+	// OnProgress observes strictly increasing done counts.
+	cbMu    sync.Mutex
+	mu      sync.Mutex
+	futures map[string]*Future
+	order   []*Future
+	elapsed map[string]time.Duration
+	done    int
+	stats   Stats
+	closed  bool
+}
+
+// NewPool builds a pool from options.
+func NewPool(opts Options) *Pool {
+	return &Pool{
+		cache:      opts.Cache,
+		sinks:      opts.Sinks,
+		onProgress: opts.OnProgress,
+		sem:        make(chan struct{}, opts.workers()),
+		futures:    make(map[string]*Future),
+		elapsed:    make(map[string]time.Duration),
+	}
+}
+
+// Submit enqueues a job and returns its future. A job whose descriptor
+// key was already submitted returns the existing future without running
+// anything.
+func (p *Pool) Submit(job Job) *Future {
+	key := job.Desc.Key()
+	p.mu.Lock()
+	p.stats.Submitted++
+	if f, ok := p.futures[key]; ok {
+		p.mu.Unlock()
+		return f
+	}
+	f := &Future{desc: job.Desc, key: key, done: make(chan struct{})}
+	p.futures[key] = f
+	p.order = append(p.order, f)
+	p.stats.Unique++
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go p.execute(f, job)
+	return f
+}
+
+func (p *Pool) execute(f *Future, job Job) {
+	defer p.wg.Done()
+	if p.cache != nil {
+		if res, ok := p.cache.Get(f.key); ok {
+			f.res, f.cached = res, true
+			p.finish(f, nil, 0)
+			return
+		}
+	}
+	p.sem <- struct{}{} // cache hits above never occupy a worker slot
+	start := time.Now()
+	res, err := job.Run()
+	elapsed := time.Since(start)
+	<-p.sem
+	if err == nil {
+		f.res = res
+		if p.cache != nil {
+			// A failed memoization write must not discard a completed
+			// simulation; count it and carry on.
+			if perr := p.cache.Put(f.key, res); perr != nil {
+				p.mu.Lock()
+				p.stats.CacheWriteErrors++
+				p.mu.Unlock()
+			}
+		}
+	}
+	p.finish(f, err, elapsed)
+}
+
+func (p *Pool) finish(f *Future, err error, elapsed time.Duration) {
+	f.err = err
+	p.cbMu.Lock()
+	p.mu.Lock()
+	switch {
+	case err != nil:
+		p.stats.Errors++
+	case f.cached:
+		p.stats.CacheHits++
+	default:
+		p.stats.Ran++
+	}
+	p.elapsed[f.key] = elapsed
+	p.done++
+	done, total := p.done, p.stats.Unique
+	cb := p.onProgress
+	p.mu.Unlock()
+	close(f.done)
+	if cb != nil {
+		cb(done, total)
+	}
+	p.cbMu.Unlock()
+}
+
+// Wait blocks until every submitted job has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close waits for all jobs, streams every successful record to the
+// sinks in submission order, and closes the sinks. It is safe to call
+// once; further Submits after Close are a programming error.
+func (p *Pool) Close() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("harness: pool closed twice")
+	}
+	p.closed = true
+	order := p.order
+	p.mu.Unlock()
+
+	var first error
+	for _, f := range order {
+		if f.err != nil {
+			continue
+		}
+		rec := Record{
+			Key:     f.key,
+			Desc:    f.desc,
+			Cached:  f.cached,
+			Elapsed: p.elapsed[f.key],
+			Result:  f.res,
+		}
+		for _, s := range p.sinks {
+			if err := s.Write(rec); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, s := range p.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"dapper/internal/sim"
+	"dapper/internal/stats"
+)
+
+// Record is one completed run as delivered to sinks.
+type Record struct {
+	Key     string        `json:"key"`
+	Desc    Descriptor    `json:"desc"`
+	Cached  bool          `json:"cached"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Result  sim.Result    `json:"result"`
+}
+
+// Sink consumes completed records. The pool delivers records on Close
+// in submission order, single-threaded, so implementations need no
+// locking of their own.
+type Sink interface {
+	Write(Record) error
+	Close() error
+}
+
+// MemorySink accumulates records for in-process consumers (figure
+// generators, tests).
+type MemorySink struct {
+	records []Record
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Write appends the record.
+func (s *MemorySink) Write(r Record) error {
+	s.records = append(s.records, r)
+	return nil
+}
+
+// Close is a no-op.
+func (s *MemorySink) Close() error { return nil }
+
+// Records returns the accumulated records in delivery order.
+func (s *MemorySink) Records() []Record { return s.records }
+
+// JSONLSink streams one JSON object per line: the full descriptor and
+// result, for external analysis pipelines.
+type JSONLSink struct {
+	w   io.Writer
+	c   io.Closer
+	enc *json.Encoder
+}
+
+// NewJSONLSink writes records to w; if w is an io.Closer it is closed
+// with the sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: w, enc: json.NewEncoder(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write encodes one record as a JSON line.
+func (s *JSONLSink) Write(r Record) error { return s.enc.Encode(r) }
+
+// Close closes the underlying writer when it is closable.
+func (s *JSONLSink) Close() error {
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// csvHeader is the fixed CSV column set: run identity, then the
+// headline metrics every sweep analysis wants.
+var csvHeader = []string{
+	"key", "tracker", "mode", "nrh", "workload", "attack", "benign4",
+	"channels", "rows_per_bank", "llc_bytes", "warmup", "measure", "seed",
+	"cached", "elapsed_sec",
+	"ipc_mean", "cycles", "llc_hit_rate",
+	"acts", "reads", "writes", "refs", "vrr", "rfmsb", "drfmsb",
+	"bulk_rows", "mitigations", "victim_refreshes", "throttled",
+}
+
+// CSVSink writes a fixed-schema CSV of run summaries.
+type CSVSink struct {
+	w      *csv.Writer
+	c      io.Closer
+	wroteH bool
+}
+
+// NewCSVSink writes records to w; if w is an io.Closer it is closed
+// with the sink.
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{w: csv.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write emits one summary row (plus the header on first use).
+func (s *CSVSink) Write(r Record) error {
+	if !s.wroteH {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.wroteH = true
+	}
+	d, res := r.Desc, r.Result
+	row := []string{
+		r.Key, d.Tracker, d.Mode, u32(d.NRH), d.Workload, d.Attack,
+		strconv.FormatBool(d.Benign4),
+		strconv.Itoa(d.Geometry.Channels), u32(d.Geometry.RowsPerBank),
+		strconv.Itoa(d.LLCBytes),
+		strconv.FormatInt(d.Warmup, 10), strconv.FormatInt(d.Measure, 10),
+		strconv.FormatUint(d.Seed, 10),
+		strconv.FormatBool(r.Cached),
+		fmt.Sprintf("%.3f", r.Elapsed.Seconds()),
+		fmt.Sprintf("%.4f", stats.Mean(res.IPC)),
+		strconv.FormatInt(res.Cycles, 10),
+		fmt.Sprintf("%.4f", res.LLCHitRate),
+		u64(res.Counters.ACT), u64(res.Counters.RD), u64(res.Counters.WR),
+		u64(res.Counters.REF), u64(res.Counters.VRR),
+		u64(res.Counters.RFMsb), u64(res.Counters.DRFMsb),
+		u64(res.Counters.BulkRows),
+		u64(res.Tracker.Mitigations), u64(res.Tracker.VictimRefreshes),
+		u64(res.Tracker.Throttled),
+	}
+	return s.w.Write(row)
+}
+
+// Close flushes the CSV writer and closes the underlying writer when it
+// is closable.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	err := s.w.Error()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func u64(v uint64) string { return strconv.FormatUint(v, 10) }
+func u32(v uint32) string { return strconv.FormatUint(uint64(v), 10) }
+
+// FileSinks creates dir (if needed) and returns a JSONL sink on
+// dir/jsonlName plus a CSV sink on dir/csvName — the standard
+// record-output pair both commands expose behind an -out flag. The
+// underlying files are closed by the sinks' Close.
+func FileSinks(dir, jsonlName, csvName string) ([]Sink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: out dir: %w", err)
+	}
+	jf, err := os.Create(filepath.Join(dir, jsonlName))
+	if err != nil {
+		return nil, err
+	}
+	cf, err := os.Create(filepath.Join(dir, csvName))
+	if err != nil {
+		jf.Close()
+		return nil, err
+	}
+	return []Sink{NewJSONLSink(jf), NewCSVSink(cf)}, nil
+}

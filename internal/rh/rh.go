@@ -6,7 +6,12 @@
 // implement Tracker; the memory controller (internal/mem) consumes it.
 package rh
 
-import "dapper/internal/dram"
+import (
+	"fmt"
+	"strings"
+
+	"dapper/internal/dram"
+)
 
 // ActionKind enumerates what a tracker can ask the memory controller to
 // do in response to an activation.
@@ -83,6 +88,22 @@ func (m MitigationMode) String() string {
 		return "DRFMsb"
 	}
 	return "unknown"
+}
+
+// Modes returns every mitigation mode in declaration order.
+func Modes() []MitigationMode {
+	return []MitigationMode{VRR1, VRR2, RFMsb, DRFMsb}
+}
+
+// ParseMode returns the mode whose String() matches name
+// (case-insensitively, so flag values like "vrr-br1" work).
+func ParseMode(name string) (MitigationMode, error) {
+	for _, m := range Modes() {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return VRR1, fmt.Errorf("rh: unknown mitigation mode %q (known: %v)", name, Modes())
 }
 
 // BlastRadius returns how many rows on each side of an aggressor the
