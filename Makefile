@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench-smoke ci
+.PHONY: all build vet test test-engine-equivalence bench-smoke bench-compare ci
 
 all: build vet test
 
@@ -13,9 +13,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# The event-engine safety net, run explicitly so a regression is named in
+# CI output: sim's scenario matrix plus exp's full tracker matrix must
+# prove the event and cycle engines produce identical Results.
+test-engine-equivalence:
+	$(GO) test -run 'TestEngineEquivalence|TestEngineDeterminism' -v -count=1 ./internal/sim ./internal/exp
+
 # One iteration of every benchmark: a smoke reproduction of each table
 # and figure under the reduced bench profile.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 
-ci: build vet test bench-smoke
+# Benchmark the cycle vs event engine on one figure and record the
+# result, so the perf trajectory is tracked in BENCH_engine.json.
+bench-compare:
+	$(GO) run ./cmd/dapper-engine-bench -exp fig11 -out BENCH_engine.json
+
+ci: build vet test test-engine-equivalence bench-smoke bench-compare

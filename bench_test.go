@@ -9,33 +9,28 @@ import (
 	"runtime"
 	"testing"
 
-	"dapper/internal/dram"
 	"dapper/internal/exp"
 	"dapper/internal/harness"
+	"dapper/internal/sim"
 )
 
-// benchProfile is a trimmed quick profile sized so every benchmark
-// completes in seconds.
+// benchProfile is the shared trimmed quick profile sized so every
+// benchmark completes in seconds (exp.Bench, also used by
+// cmd/dapper-engine-bench).
 func benchProfile() exp.Profile {
-	p := exp.Quick()
-	p.Name = "bench"
-	p.Workloads = p.Workloads[:4]
-	p.SweepWorkloads = p.SweepWorkloads[:2]
-	p.NRHSweep = []uint32{125, 500}
-	p.Warmup = dram.US(60)
-	p.Measure = dram.US(250)
-	p.DapperWarmup = dram.US(60)
-	p.DapperMeasure = dram.US(500)
-	return p
+	return exp.Bench()
 }
 
 func runExp(b *testing.B, id string) {
+	runExpProfile(b, id, benchProfile())
+}
+
+func runExpProfile(b *testing.B, id string, p exp.Profile) {
 	b.Helper()
 	g, err := exp.Lookup(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := benchProfile()
 	for i := 0; i < b.N; i++ {
 		tb, err := g(p)
 		if err != nil {
@@ -110,6 +105,23 @@ func BenchmarkSecurityH(b *testing.B) { runExp(b, "sec-h") }
 // second of host time) on the standard four-core attack scenario, for
 // tracking the engine itself.
 func BenchmarkSimulatorThroughput(b *testing.B) { runExp(b, "fig11") }
+
+// cycleProfile pins the bench profile to the per-cycle reference engine.
+// The plain figure benchmarks above run the default event engine, so
+// BenchmarkFigN vs BenchmarkFigNCycleEngine is the engine speedup on
+// that figure (make bench-compare tracks it in BENCH_engine.json).
+func cycleProfile() exp.Profile {
+	p := benchProfile()
+	p.Engine = sim.EngineCycle
+	return p
+}
+
+// BenchmarkFig1CycleEngine regenerates Figure 1 on the per-cycle engine.
+func BenchmarkFig1CycleEngine(b *testing.B) { runExpProfile(b, "fig1", cycleProfile()) }
+
+// BenchmarkFig11CycleEngine regenerates Figure 11 on the per-cycle
+// engine.
+func BenchmarkFig11CycleEngine(b *testing.B) { runExpProfile(b, "fig11", cycleProfile()) }
 
 // BenchmarkFig11Parallel regenerates Figure 11 through the harness
 // (collect -> pool -> replay) with one worker per CPU. Compare against

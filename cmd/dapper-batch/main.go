@@ -29,6 +29,7 @@ import (
 	"dapper/internal/exp"
 	"dapper/internal/harness"
 	"dapper/internal/rh"
+	"dapper/internal/sim"
 	"dapper/internal/workloads"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	attackName := flag.String("attack", "none", "companion attack kind ('none' = benign run)")
 	modeName := flag.String("mode", "VRR-BR1", "mitigation mode (VRR-BR1|VRR-BR2|RFMsb|DRFMsb)")
 	profile := flag.String("profile", "quick", "quick or full (windows, geometry, seed)")
+	engineName := flag.String("engine", "event", "simulation engine: event (time-skipping, default) or cycle (per-cycle reference)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (<=0 = NumCPU)")
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
 	outDir := flag.String("out", ".", "output directory for batch.jsonl + batch.csv")
@@ -66,6 +68,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown profile %q (quick|full)", *profile))
 	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	p.Engine = engine
 
 	if *jobs <= 0 {
 		*jobs = runtime.NumCPU()

@@ -1,0 +1,100 @@
+// Command dapper-engine-bench times one figure under both simulation
+// engines (the per-cycle reference loop and the event-driven time-skip
+// loop) and writes the comparison to a JSON file, so the repository's
+// performance trajectory is tracked alongside its results
+// (`make bench-compare`).
+//
+// Usage:
+//
+//	dapper-engine-bench                     # fig11, BENCH_engine.json
+//	dapper-engine-bench -exp fig1 -out engines.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"flag"
+
+	"dapper/internal/exp"
+	"dapper/internal/sim"
+)
+
+// report is the BENCH_engine.json schema.
+type report struct {
+	Experiment   string  `json:"experiment"`
+	Profile      string  `json:"profile"`
+	CycleSeconds float64 `json:"cycle_seconds"`
+	EventSeconds float64 `json:"event_seconds"`
+	Speedup      float64 `json:"speedup"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Timestamp    string  `json:"timestamp"`
+}
+
+// benchProfile is the shared bench profile (exp.Bench, the same one
+// bench_test.go's figure benchmarks run) pinned to one engine.
+func benchProfile(engine sim.Engine) exp.Profile {
+	p := exp.Bench()
+	p.Engine = engine
+	return p
+}
+
+func timeRun(id string, engine sim.Engine) (float64, error) {
+	g, err := exp.Lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	tb, err := g(benchProfile(engine))
+	if err != nil {
+		return 0, err
+	}
+	if len(tb.Rows) == 0 {
+		return 0, fmt.Errorf("%s produced no rows under %s engine", id, engine)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func main() {
+	expID := flag.String("exp", "fig11", "experiment id to benchmark")
+	out := flag.String("out", "BENCH_engine.json", "output JSON path")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "benchmarking %s: cycle engine...\n", *expID)
+	cycleS, err := timeRun(*expID, sim.EngineCycle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchmarking %s: event engine...\n", *expID)
+	eventS, err := timeRun(*expID, sim.EngineEvent)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	r := report{
+		Experiment:   *expID,
+		Profile:      "bench",
+		CycleSeconds: cycleS,
+		EventSeconds: eventS,
+		Speedup:      cycleS / eventS,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: cycle %.2fs, event %.2fs, speedup %.2fx -> %s\n",
+		*expID, cycleS, eventS, r.Speedup, *out)
+}

@@ -24,11 +24,13 @@ import (
 
 	"dapper/internal/exp"
 	"dapper/internal/harness"
+	"dapper/internal/sim"
 )
 
 func main() {
 	expID := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	profile := flag.String("profile", "quick", "quick or full")
+	engineName := flag.String("engine", "event", "simulation engine: event (time-skipping, default) or cycle (per-cycle reference)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (<=0 = NumCPU)")
 	cacheDir := flag.String("cache", "", "disk result-cache directory (reruns hit the cache)")
 	outDir := flag.String("out", "", "directory for run records (results.jsonl + results.csv)")
@@ -52,6 +54,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q (quick|full)\n", *profile)
 		os.Exit(2)
 	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p.Engine = engine
 
 	if *jobs <= 0 {
 		*jobs = runtime.NumCPU()

@@ -87,6 +87,7 @@ func main() {
 	measureUS := flag.Float64("measure", 400, "measurement window in microseconds")
 	warmupUS := flag.Float64("warmup", 100, "warmup window in microseconds")
 	rowsPerBank := flag.Uint("rows-per-bank", 0, "override rows per bank (0 = full 64K)")
+	engineName := flag.String("engine", "event", "simulation engine: event (time-skipping, default) or cycle (per-cycle reference)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -116,6 +117,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var traces = sim.BenignTraces(w, 3, geo, 1)
 	traces = append(traces, attack.MustTrace(attack.Config{Geometry: geo, NRH: uint32(*nrh), Kind: kind}))
@@ -126,6 +132,7 @@ func main() {
 		Tracker:  factory,
 		Warmup:   dram.US(*warmupUS),
 		Measure:  dram.US(*measureUS),
+		Engine:   engine,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

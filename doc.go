@@ -39,6 +39,53 @@
 // drives the paper's figures this way; cmd/dapper-batch runs arbitrary
 // tracker x workload x NRH sweeps from flags straight to JSONL/CSV.
 //
+// # Event-driven simulation engine (internal/sim, internal/mem, internal/cpu)
+//
+// sim.Run drives the system with one of two engines (sim.Config.Engine,
+// -engine flag on every cmd): "cycle", the reference loop that ticks
+// every controller, flushes the LLC write-back backlog and steps every
+// core on every DRAM cycle; and "event" (the default), which advances
+// time directly to the earliest wake point whenever components are
+// quiescent. Both produce byte-identical Results — the equivalence
+// matrix (sim.TestEngineEquivalence, exp.TestEngineEquivalenceAllTrackers,
+// `make test-engine-equivalence`) enforces it for every tracker under
+// benign and tailored-attack co-runs.
+//
+// The wake-time protocol: each component reports the next cycle it can
+// change visible state, and guarantees that driving it only at such
+// wakes reproduces the per-cycle trajectory exactly.
+//
+//   - mem.Controller.NextEvent returns the minimum of the next rank
+//     refresh deadline, the tracker tick, and — when requests are
+//     pending — the first scheduling attempt that could start one,
+//     derived from bank/rank availability, tRC/tRRD spacing, throttling
+//     (rh.Throttler.NextAllowed must be a pure, stable query) and
+//     data-bus occupancy. Failed attempts back off two cycles, so
+//     attempts live on a 2-cycle grid; every nextConsider reset encodes
+//     its own anchor cycle, and Tick's catch-up replays the skipped
+//     failed-attempt trajectory so the grid parity matches a per-cycle
+//     driver's. Refresh and tracker ticks catch up on their exact
+//     deadlines across a skip.
+//   - cpu.Core.NextEvent returns a bubble horizon (the soonest the
+//     trace's next memory access could dispatch at full width), the ROB
+//     head's completion time when the core is full, or dram.Never when
+//     progress depends on the memory system. Core.Step replays skipped
+//     interaction-free cycles exactly, folding steady bubble streams,
+//     head-stalled windows and full-width retire runs in closed form. A
+//     backpressure-stalled core is stepped at every iteration, because
+//     its retry outcome depends on controller state.
+//   - The engine caches per-component wakes, re-arming a controller's
+//     only when it was ticked or received work (Controller.Version) and
+//     a blocked core's by a read-only re-poll. Warmup and final cycles
+//     are never skipped, so statistics snapshots observe the same
+//     retirement state as the cycle engine.
+//
+// Force `-engine cycle` when validating the event engine itself, when
+// bisecting a suspected engine bug, or when adding a new component that
+// does not yet implement the wake-time protocol; in every other case the
+// event engine is strictly faster (≥2x on the benign figure benchmarks,
+// tracked in BENCH_engine.json via `make bench-compare`).
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package dapper

@@ -80,11 +80,25 @@ type Core struct {
 	memReads  uint64
 	memWrites uint64
 	stallCyc  uint64
+
+	// lastDispatched records how many instructions the most recent Step
+	// dispatched, for NextEvent's progress test; lastStep is the cycle of
+	// that Step, so a gap-driven Step can replay the skipped cycles.
+	lastDispatched int
+	lastStep       dram.Cycle
+
+	// pendingCount tracks live ROB entries holding in-flight memory
+	// requests; maxCompleteAt is an upper bound on live entries'
+	// completion times. Together they gate catchUp's O(1) fast path:
+	// when pendingCount is zero and maxCompleteAt has passed, every live
+	// entry is ready and entries are interchangeable.
+	pendingCount  int
+	maxCompleteAt dram.Cycle
 }
 
 // New builds a core reading from trace and accessing memory through m.
 func New(id int, trace Trace, m Memory) *Core {
-	return &Core{id: id, trace: trace, memIf: m}
+	return &Core{id: id, trace: trace, memIf: m, lastStep: -1}
 }
 
 // ID returns the core's index.
@@ -112,6 +126,12 @@ func (c *Core) MemWrites() uint64 { return c.memWrites }
 // memory backpressure).
 func (c *Core) StallCycles() uint64 { return c.stallCyc }
 
+// Stalled reports whether the core is holding a memory access the
+// hierarchy refused (backpressure). A stalled core retries every cycle,
+// so the event engine must step it at every iteration — the retry's
+// success depends on memory-system state the core cannot predict.
+func (c *Core) Stalled() bool { return c.stalledReq != nil }
+
 // ResetStats zeroes the performance counters (used after warmup).
 func (c *Core) ResetStats() {
 	c.retired, c.cycles, c.memReads, c.memWrites, c.stallCyc = 0, 0, 0, 0, 0
@@ -133,9 +153,16 @@ func (c *Core) putReq(r *mem.Request) {
 	}
 }
 
-// Step advances the core one cycle: retire up to Width completed
-// instructions, then dispatch up to Width new ones.
+// Step advances the core to cycle now: retire up to Width completed
+// instructions, then dispatch up to Width new ones. Step may be driven
+// every cycle, or with gaps when the event engine skipped cycles it
+// proved interaction-free (see NextEvent); skipped cycles are replayed
+// exactly by catchUp first.
 func (c *Core) Step(now dram.Cycle) {
+	if now > c.lastStep+1 {
+		c.catchUp(c.lastStep+1, now)
+	}
+	c.lastStep = now
 	c.cycles++
 
 	// Retire.
@@ -147,6 +174,7 @@ func (c *Core) Step(now dram.Cycle) {
 			}
 			c.putReq(e.pending)
 			e.pending = nil
+			c.pendingCount--
 		} else if e.completeAt > now {
 			break
 		}
@@ -204,8 +232,12 @@ func (c *Core) Step(now dram.Cycle) {
 			c.memReads++
 			if pending != nil {
 				c.rob[(c.head+c.count)%ROBSize] = robEntry{pending: pending}
+				c.pendingCount++
 			} else {
 				c.rob[(c.head+c.count)%ROBSize] = robEntry{completeAt: now + lat}
+				if now+lat > c.maxCompleteAt {
+					c.maxCompleteAt = now + lat
+				}
 				c.putReq(req)
 			}
 		}
@@ -215,6 +247,173 @@ func (c *Core) Step(now dram.Cycle) {
 	if dispatched == 0 {
 		c.stallCyc++
 	}
+	c.lastDispatched = dispatched
+}
+
+// catchUp replays the cycles [from, to) the event engine skipped:
+// in-order retirement plus bubble-only dispatch. The engine never skips
+// past NextEvent's horizon, so no memory access can fall in this range —
+// a bubble run leaves at least Width bubbles pending on every replayed
+// cycle, which means the dispatch loop can never reach the trace's
+// memory record early.
+func (c *Core) catchUp(from, to dram.Cycle) {
+	for cyc := from; cyc < to; cyc++ {
+		// Steady bubble stream: every live entry is ready (no in-flight
+		// requests, all completion times passed) and at least Width
+		// bubbles remain per cycle, so each cycle retires Width entries
+		// and dispatches Width interchangeable ready bubbles — net zero.
+		// Fold the whole stretch in O(1).
+		if c.pendingCount == 0 && c.maxCompleteAt <= cyc &&
+			c.count >= Width && c.bubbles >= Width {
+			n := to - cyc
+			if m := dram.Cycle(c.bubbles / Width); m < n {
+				n = m
+			}
+			c.retired += uint64(n) * Width
+			c.bubbles -= int(n) * Width
+			c.cycles += uint64(n)
+			cyc += n - 1
+			continue
+		}
+		// Retire-active phase: a leading run of ready entries retires at
+		// full width while bubbles dispatch at full width — fold as many
+		// such cycles as the run supports, shifting the ROB window
+		// without touching the retired entries' slots.
+		if c.count >= Width && c.bubbles >= Width {
+			n := to - cyc
+			if m := dram.Cycle(c.bubbles / Width); m < n {
+				n = m
+			}
+			limit := int(n) * Width
+			if limit > c.count {
+				limit = c.count
+			}
+			run := 0
+			for run < limit {
+				e := &c.rob[(c.head+run)%ROBSize]
+				if e.pending != nil || e.completeAt > cyc+dram.Cycle(run/Width) {
+					break
+				}
+				run++
+			}
+			if m := dram.Cycle(run / Width); m > 0 {
+				disp := int(m) * Width
+				for k := 0; k < disp; k++ {
+					c.rob[(c.head+c.count+k)%ROBSize] = robEntry{completeAt: cyc}
+				}
+				c.head = (c.head + disp) % ROBSize
+				c.retired += uint64(disp)
+				c.bubbles -= disp
+				c.cycles += uint64(m)
+				cyc += m - 1
+				continue
+			}
+		}
+		// Head-stalled phase: an unready head entry blocks all
+		// retirement until its completion time, so the replayed cycles
+		// only dispatch bubbles (min(Width, room, bubbles) per cycle,
+		// greedily) — fold the stretch in closed form.
+		if c.count > 0 {
+			headReadyAt := c.rob[c.head].completeAt
+			if p := c.rob[c.head].pending; p != nil {
+				headReadyAt = dram.Never // not serviced during the replayed range
+				if p.Done {
+					headReadyAt = p.DoneAt
+				}
+			}
+			if headReadyAt > cyc {
+				n := to - cyc
+				if headReadyAt < to {
+					n = headReadyAt - cyc
+				}
+				disp := int(n) * Width
+				if room := ROBSize - c.count; room < disp {
+					disp = room
+				}
+				if c.bubbles < disp {
+					disp = c.bubbles
+				}
+				for k := 0; k < disp; k++ {
+					// Recording the fold's first cycle as completeAt is
+					// safe: the entry sits behind the unready head, so it
+					// cannot retire before its true dispatch cycle anyway.
+					c.rob[(c.head+c.count+k)%ROBSize] = robEntry{completeAt: cyc}
+				}
+				c.count += disp
+				c.bubbles -= disp
+				c.stallCyc += uint64(n) - uint64((disp+Width-1)/Width)
+				c.cycles += uint64(n)
+				cyc += n - 1
+				continue
+			}
+		}
+		c.cycles++
+		for n := 0; n < Width && c.count > 0; n++ {
+			e := &c.rob[c.head]
+			if e.pending != nil {
+				if !e.pending.Done || e.pending.DoneAt > cyc {
+					break
+				}
+				c.putReq(e.pending)
+				e.pending = nil
+				c.pendingCount--
+			} else if e.completeAt > cyc {
+				break
+			}
+			c.head = (c.head + 1) % ROBSize
+			c.count--
+			c.retired++
+		}
+		dispatched := 0
+		for dispatched < Width && c.count < ROBSize && c.bubbles > 0 {
+			c.rob[(c.head+c.count)%ROBSize] = robEntry{completeAt: cyc}
+			c.count++
+			c.bubbles--
+			dispatched++
+		}
+		if dispatched == 0 {
+			c.stallCyc++
+		}
+	}
+}
+
+// NextEvent returns the earliest future cycle at which the core can
+// interact with the rest of the system: the end of the current bubble
+// run (the soonest a memory access could issue at full dispatch width),
+// now+1 while it is otherwise dispatching, the ROB head's completion
+// time when the ROB is full, or dram.Never when progress depends
+// entirely on the memory system (backpressure, or an in-flight head
+// request whose completion time is not yet known — the memory
+// controller's own events cover those cases). Valid immediately after
+// Step(now); if the engine skips ahead, the next Step replays the
+// skipped cycles via catchUp.
+func (c *Core) NextEvent(now dram.Cycle) dram.Cycle {
+	if c.lastDispatched > 0 {
+		if c.bubbles > 0 && c.stalledReq == nil {
+			// First cycle at which the trace's pending memory record
+			// could dispatch: all bubbles drained at Width per cycle,
+			// with issue width left over. ROB stalls only push this
+			// later, so it is a safe horizon.
+			return now + (dram.Cycle(c.bubbles)+dram.Cycle(Width))/dram.Cycle(Width)
+		}
+		return now + 1
+	}
+	if c.count > 0 {
+		e := &c.rob[c.head]
+		switch {
+		case e.pending == nil:
+			if e.completeAt <= now {
+				return now + 1 // ready, retirement just capped by Width
+			}
+			return e.completeAt
+		case e.pending.Done:
+			if e.pending.DoneAt <= now {
+				return now + 1
+			}
+			return e.pending.DoneAt
+		}
+	}
+	return dram.Never
 }
 
 // NCAddr marks addresses as non-cacheable via their top bit. Traces set

@@ -234,3 +234,22 @@ func TestNSConversions(t *testing.T) {
 		t.Fatal("time conversions wrong")
 	}
 }
+
+func TestTimingValidate(t *testing.T) {
+	if err := DDR5().Validate(); err != nil {
+		t.Fatalf("DDR5 timing must validate: %v", err)
+	}
+	partial := Timing{TRC: NS(48)} // everything else zero
+	if err := partial.Validate(); err == nil {
+		t.Fatal("partially-filled Timing must be rejected")
+	}
+	neg := DDR5()
+	neg.TRRDS = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative timing field must be rejected")
+	}
+	var zero Timing
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero Timing must be rejected")
+	}
+}

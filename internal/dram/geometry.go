@@ -27,6 +27,11 @@ func MS(ms float64) Cycle { return NS(ms * 1e6) }
 // RowNone marks a closed row buffer.
 const RowNone = ^uint32(0)
 
+// Never is a sentinel wake-up time meaning "no self-scheduled event".
+// It is far beyond any simulated window but small enough that adding
+// ordinary latencies to it cannot overflow.
+const Never Cycle = 1 << 62
+
 // Geometry describes the DRAM organization. The paper's baseline
 // (Table I) is 2 channels x 2 ranks x 8 bank groups x 4 banks, with 64K
 // rows of 8KB per bank (64GB total).

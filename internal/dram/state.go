@@ -64,16 +64,16 @@ func (r *Rank) Block(until Cycle) {
 // reads them for mitigation statistics.
 type Counters struct {
 	ACT        uint64 // activations (row misses + attacker hammering)
-	RD         uint64 // 64B read bursts
-	WR         uint64 // 64B write bursts
+	RD         uint64 // demand 64B read bursts (injected reads are in InjRD)
+	WR         uint64 // demand 64B write bursts (injected writes are in InjWR)
 	REF        uint64 // per-rank auto-refreshes
 	VRR        uint64 // victim-row refresh commands
 	RFMsb      uint64 // same-bank RFM commands
 	DRFMsb     uint64 // same-bank DRFM commands
 	BulkEvents uint64 // bulk structure-reset refreshes
 	BulkRows   uint64 // rows swept by bulk resets
-	InjRD      uint64 // tracker-injected counter reads (subset of RD)
-	InjWR      uint64 // tracker-injected counter writes (subset of WR)
+	InjRD      uint64 // tracker-injected counter reads (disjoint from RD)
+	InjWR      uint64 // tracker-injected counter writes (disjoint from WR)
 }
 
 // Add accumulates other into c.

@@ -1,5 +1,10 @@
 package dram
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Timing holds the DDR5 timing and mitigation-command parameters in CPU
 // cycles (0.25ns each). Defaults follow the paper's Table I
 // (DDR5-6400: tRCD-tRP-tCL 16-16-16ns, tRC 48ns, tRFC 295ns,
@@ -67,3 +72,46 @@ func (t Timing) RowHitLatency() Cycle { return t.TCL }
 // BulkSweep returns the time to refresh `rows` rows sequentially in one
 // bank during a bulk structure reset.
 func (t Timing) BulkSweep(rows uint32) Cycle { return Cycle(rows) * t.TBulkRow }
+
+// Validate rejects timing sets that would silently misbehave: a zero
+// TREFI degenerates into a refresh storm (a refresh due every cycle), a
+// zero TRFC makes refreshes free, a zero TBurst removes data-bus
+// occupancy entirely, and so on. A partially-filled Timing is almost
+// always a bug — start from DDR5() and override fields instead.
+func (t Timing) Validate() error {
+	required := []struct {
+		name string
+		v    Cycle
+	}{
+		{"TRC", t.TRC}, {"TRCD", t.TRCD}, {"TRP", t.TRP}, {"TCL", t.TCL},
+		{"TBurst", t.TBurst}, {"TRFC", t.TRFC}, {"TREFI", t.TREFI},
+		{"TREFW", t.TREFW},
+	}
+	var bad []string
+	for _, f := range required {
+		if f.v <= 0 {
+			bad = append(bad, f.name)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("dram: incomplete Timing: %s must be positive "+
+			"(partially-filled Timing structs cause refresh storms or a free "+
+			"data bus; start from dram.DDR5() and override fields)",
+			strings.Join(bad, ", "))
+	}
+	optional := []struct {
+		name string
+		v    Cycle
+	}{
+		{"TRRDS", t.TRRDS}, {"TRRDL", t.TRRDL}, {"TWR", t.TWR},
+		{"TVRR1", t.TVRR1}, {"TVRR2", t.TVRR2}, {"TRFMsb", t.TRFMsb},
+		{"TDRFMsb", t.TDRFMsb}, {"TBulkRow", t.TBulkRow},
+		{"PRACActTax", t.PRACActTax},
+	}
+	for _, f := range optional {
+		if f.v < 0 {
+			return fmt.Errorf("dram: Timing.%s is negative (%d cycles)", f.name, f.v)
+		}
+	}
+	return nil
+}

@@ -108,10 +108,11 @@ func (req BatchRequest) Jobs() ([]harness.Job, error) {
 					warmup:   warmup,
 					measure:  measure,
 					seed:     p.Seed,
+					engine:   p.Engine,
 				}
 				jobs = append(jobs, harness.Job{
 					Desc: s.descriptor(),
-					Run: func() (sim.Result, error) { return run(s) },
+					Run:  func() (sim.Result, error) { return run(s) },
 				})
 			}
 		}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/workloads"
+)
+
+// TestEngineEquivalenceAllTrackers is the full safety-net matrix for the
+// event engine: every sweepable tracker (the complete internal/trackers
+// set plus both DAPPER variants and the insecure baseline), each under a
+// benign co-run and its tailored Perf-Attack, must produce a Result
+// byte-identical to the per-cycle reference engine — and identical again
+// on a second event-engine run (determinism).
+func TestEngineEquivalenceAllTrackers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is seconds-long; skipped in -short")
+	}
+	geo := dram.Baseline()
+	const nrh = 500
+	for _, id := range KnownTrackers() {
+		ts := trackerBuilders[id](geo, nrh, rh.VRR1)
+		kinds := []attack.Kind{attack.None}
+		if name := ts.Name; name != "" {
+			kinds = append(kinds, attack.ForTracker(name))
+		} else {
+			kinds = append(kinds, attack.CacheThrash)
+		}
+		for _, kind := range kinds {
+			t.Run(id+"/"+kind.String(), func(t *testing.T) {
+				mk := func(engine sim.Engine) sim.Result {
+					w, err := workloads.ByName("ycsb_a")
+					if err != nil {
+						t.Fatal(err)
+					}
+					s := runSpec{
+						workload: w,
+						geo:      geo,
+						nrh:      nrh,
+						tracker:  ts,
+						attack:   kind,
+						benign4:  kind == attack.None,
+						warmup:   dram.US(5),
+						measure:  dram.US(25),
+						seed:     3,
+						engine:   engine,
+					}
+					res, runErr := run(s)
+					if runErr != nil {
+						t.Fatal(runErr)
+					}
+					return res
+				}
+				want := mk(sim.EngineCycle)
+				got := mk(sim.EngineEvent)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s under %s: engines diverge\n cycle: %+v\n event: %+v",
+						id, kind, want, got)
+				}
+				if again := mk(sim.EngineEvent); !reflect.DeepEqual(got, again) {
+					t.Fatalf("%s under %s: event engine non-deterministic", id, kind)
+				}
+			})
+		}
+	}
+}

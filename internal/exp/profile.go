@@ -2,6 +2,7 @@ package exp
 
 import (
 	"dapper/internal/dram"
+	"dapper/internal/sim"
 	"dapper/internal/workloads"
 )
 
@@ -38,6 +39,10 @@ type Profile struct {
 	DapperMeasure dram.Cycle
 
 	Seed uint64
+
+	// Engine selects the simulation loop strategy for every run this
+	// profile produces (sim.EngineEvent if empty; -engine flag).
+	Engine sim.Engine
 
 	// hctx, when set by Generate, routes every simulation request
 	// through the harness collect/replay machinery instead of running
@@ -85,6 +90,23 @@ func Full() Profile {
 		DapperMeasure:  dram.MS(1.2),
 		Seed:           1,
 	}
+}
+
+// Bench returns the trimmed quick profile every benchmark runs
+// (bench_test.go's figure benchmarks and cmd/dapper-engine-bench's
+// engine comparison share it, so BENCH_engine.json measures the same
+// workload set as BenchmarkFigN).
+func Bench() Profile {
+	p := Quick()
+	p.Name = "bench"
+	p.Workloads = p.Workloads[:4]
+	p.SweepWorkloads = p.SweepWorkloads[:2]
+	p.NRHSweep = []uint32{125, 500}
+	p.Warmup = dram.US(60)
+	p.Measure = dram.US(250)
+	p.DapperWarmup = dram.US(60)
+	p.DapperMeasure = dram.US(500)
+	return p
 }
 
 // Tiny returns a minimal profile for unit tests of the harness

@@ -32,6 +32,7 @@ type runSpec struct {
 	warmup             dram.Cycle
 	measure            dram.Cycle
 	seed               uint64
+	engine             sim.Engine // loop strategy (event if empty)
 }
 
 // descriptor returns the spec's deterministic identity for the harness
@@ -56,6 +57,7 @@ func (s runSpec) descriptor() harness.Descriptor {
 		Warmup:   s.warmup,
 		Measure:  s.measure,
 		Seed:     s.seed,
+		Engine:   string(s.engine.OrDefault()),
 	}
 }
 
@@ -77,6 +79,7 @@ func run(s runSpec) (sim.Result, error) {
 		Warmup:   s.warmup,
 		Measure:  s.measure,
 		Mode:     s.tracker.Mode,
+		Engine:   s.engine,
 	}
 	if s.tracker.Factory != nil {
 		cfg.Tracker = s.tracker.Factory
@@ -99,6 +102,7 @@ func newRunner(p Profile) *runner {
 // harness mode: inline (serial), recorded as a job (collect), or served
 // from the memoized results (replay). See Generate.
 func (r *runner) exec(s runSpec) (sim.Result, error) {
+	s.engine = r.p.Engine
 	h := r.p.hctx
 	if h == nil {
 		return run(s)

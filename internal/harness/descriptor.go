@@ -36,6 +36,13 @@ type Descriptor struct {
 	Measure dram.Cycle `json:"measure"`
 	Seed    uint64     `json:"seed"`
 
+	// Engine is the simulation loop strategy ("event" or "cycle"). Both
+	// engines produce identical Results by contract, but keying on the
+	// engine keeps cached records honest about how they were produced
+	// (and lets an engine-comparison run bypass the other engine's
+	// cache entries).
+	Engine string `json:"engine,omitempty"`
+
 	// Extra disambiguates runs varied by a knob not listed above.
 	Extra string `json:"extra,omitempty"`
 }
@@ -47,11 +54,11 @@ func (d Descriptor) Key() string {
 	g := d.Geometry
 	fmt.Fprintf(h,
 		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|benign4=%t|"+
-			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|extra=%s",
+			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|extra=%s",
 		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.Benign4,
 		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.RowsPerBank,
 		g.RowBytes, g.LineBytes,
-		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Extra)
+		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Extra)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -26,7 +26,9 @@ type Request struct {
 	Done       bool
 }
 
-// Stats aggregates controller-side performance counters.
+// Stats aggregates controller-side performance counters. ReadsServed,
+// WritesServed and TotalReadWait cover demand traffic only; injected
+// tracker counter traffic is tallied in dram.Counters.InjRD/InjWR.
 type Stats struct {
 	ReadsServed   uint64
 	WritesServed  uint64
@@ -55,10 +57,13 @@ type Controller struct {
 	dataBusFreeAt   dram.Cycle
 	nextTrackerTick dram.Cycle
 	nextConsider    dram.Cycle // idle-scan backoff
+	lastTick        dram.Cycle // previous Tick time, for backoff catch-up
 
 	counters dram.Counters
 	stats    Stats
 	actBuf   []rh.Action
+
+	version uint64 // bumped on Enqueue; lets callers cache NextEvent
 }
 
 // QueueCap is the per-channel read/write queue capacity; a full queue
@@ -79,14 +84,17 @@ func NewController(channel int, geo dram.Geometry, tim dram.Timing, tracker rh.T
 		ranks:           make([]dram.Rank, geo.Ranks),
 		queueCap:        QueueCap,
 		nextTrackerTick: tim.TREFI,
+		lastTick:        -1,
 	}
 	for i := range c.banks {
 		c.banks[i] = dram.NewBank()
 	}
 	for i := range c.ranks {
-		// Stagger rank refreshes half a tREFI apart, as real
-		// controllers do, so both ranks are never blocked at once.
-		c.ranks[i] = dram.NewRank(tim.TREFI + dram.Cycle(i)*tim.TREFI/2)
+		// Stagger rank refreshes evenly across one tREFI, as real
+		// controllers do, so no two ranks are ever blocked at once
+		// (offsetting rank i by i*tREFI/2 would collide rank 2 with
+		// rank 0's second refresh on >2-rank geometries).
+		c.ranks[i] = dram.NewRank(tim.TREFI + dram.Cycle(i)*tim.TREFI/dram.Cycle(geo.Ranks))
 	}
 	if th, ok := tracker.(rh.Throttler); ok {
 		c.throt = th
@@ -114,7 +122,8 @@ func (c *Controller) Enqueue(r *Request, now dram.Cycle) bool {
 		r.Done = false
 		r.EnqueuedAt = now
 		c.injected = append(c.injected, r)
-		c.nextConsider = 0
+		c.resetConsider(now + 1)
+		c.version++
 		return true
 	}
 	if len(c.queue) >= c.queueCap {
@@ -123,13 +132,42 @@ func (c *Controller) Enqueue(r *Request, now dram.Cycle) bool {
 	r.Done = false
 	r.EnqueuedAt = now
 	c.queue = append(c.queue, r)
-	c.nextConsider = 0
+	c.resetConsider(now + 1)
+	c.version++
 	return true
 }
 
+// resetConsider re-arms the scheduler: the next attempt is allowed at
+// cycle `at`. Every reset must encode its own time — a bare zero would
+// lose the anchor of the 2-cycle backoff grid, and Tick's catch-up
+// would replay the skipped-attempt trajectory with the wrong parity.
+func (c *Controller) resetConsider(at dram.Cycle) {
+	c.nextConsider = at
+}
+
+// Version increments on every successful Enqueue. The event engine uses
+// it to cache NextEvent between ticks: a controller's wake time can only
+// move earlier when new work arrives.
+func (c *Controller) Version() uint64 { return c.version }
+
 // Tick advances the controller to cycle now: runs refresh, the tracker's
 // periodic work, and attempts to start one request.
+//
+// Tick may be driven either every cycle (the reference engine) or only
+// at wake times reported by NextEvent (the event engine). In the latter
+// case the skipped cycles are provably idle, and the catch-up below
+// replays the backoff trajectory a per-cycle driver would have taken, so
+// both driving styles observe bit-identical controller behavior.
 func (c *Controller) Tick(now dram.Cycle) {
+	// Catch up the stalled-scheduler backoff over skipped cycles: a
+	// per-cycle driver would have attempted at a, a+2, ... (a = first
+	// permitted attempt after the previous Tick) and failed each time —
+	// the event engine only skips provably idle cycles — leaving
+	// nextConsider at the first grid point at or beyond now.
+	if a := max(c.nextConsider, c.lastTick+1); a < now {
+		c.nextConsider = a + (now-a+1)/2*2
+	}
+	c.lastTick = now
 	c.refreshTick(now)
 	if now < c.nextConsider {
 		return
@@ -140,12 +178,16 @@ func (c *Controller) Tick(now dram.Cycle) {
 }
 
 // refreshTick issues per-rank auto-refresh on the tREFI cadence and runs
-// the tracker's periodic hook.
+// the tracker's periodic hook. Both fire at their exact deadline cycle:
+// the per-cycle driver lands on every deadline by construction, and the
+// event engine never schedules a wake past one, but the loops below
+// catch up on the deadline's own terms should a driver ever arrive late.
 func (c *Controller) refreshTick(now dram.Cycle) {
 	for r := range c.ranks {
 		rk := &c.ranks[r]
-		if now >= rk.NextRefAt {
-			until := now + c.tim.TRFC
+		for now >= rk.NextRefAt {
+			at := rk.NextRefAt
+			until := at + c.tim.TRFC
 			rk.Block(until)
 			base := r * c.geo.BanksPerRank()
 			for b := 0; b < c.geo.BanksPerRank(); b++ {
@@ -154,14 +196,92 @@ func (c *Controller) refreshTick(now dram.Cycle) {
 			rk.NextRefAt += c.tim.TREFI
 			c.counters.REF++
 			c.stats.Refreshes++
-			c.nextConsider = 0
+			c.resetConsider(now) // attempt again this very tick
 		}
 	}
-	if now >= c.nextTrackerTick {
-		c.actBuf = c.tracker.Tick(now, c.actBuf[:0])
-		c.applyActions(now, c.actBuf)
+	for now >= c.nextTrackerTick {
+		at := c.nextTrackerTick
+		c.actBuf = c.tracker.Tick(at, c.actBuf[:0])
+		c.applyActions(at, c.actBuf)
 		c.nextTrackerTick += c.tim.TREFI
 	}
+}
+
+// NextEvent returns the next cycle strictly after now at which this
+// controller can change visible state: the earliest rank refresh
+// deadline, the tracker's periodic tick, or — when requests are pending
+// — the first scheduling attempt that could start one. Between now and
+// the returned cycle, Tick is a no-op on all observable state. Valid
+// immediately after Tick(now).
+func (c *Controller) NextEvent(now dram.Cycle) dram.Cycle {
+	next := c.nextTrackerTick
+	for r := range c.ranks {
+		if c.ranks[r].NextRefAt < next {
+			next = c.ranks[r].NextRefAt
+		}
+	}
+	if len(c.queue)+len(c.injected) > 0 {
+		if t := c.nextAttempt(now); t < next {
+			next = t
+		}
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// nextAttempt returns the first cycle after now at which trySchedule
+// could make progress. Failed attempts back off two cycles, so attempts
+// happen on a 2-cycle grid anchored at the next permitted attempt; the
+// result is the first grid point at which some request passes every
+// scheduling constraint (assuming no state changes before then — any
+// state change is itself an event that re-triggers this computation).
+func (c *Controller) nextAttempt(now dram.Cycle) dram.Cycle {
+	ready := c.earliestReady(c.injected, now)
+	if t := c.earliestReady(c.queue, now); t < ready {
+		ready = t
+	}
+	anchor := max(c.nextConsider, now+1)
+	if ready <= anchor {
+		return anchor
+	}
+	return anchor + (ready-anchor+1)/2*2
+}
+
+// earliestReady returns the earliest cycle after now at which pick could
+// start some request in q, given frozen controller state. The bound
+// mirrors pick's constraints exactly: bank/rank availability, tRC and
+// tRRD spacing (plus the PRAC tax), throttling, and data-bus occupancy.
+func (c *Controller) earliestReady(q []*Request, now dram.Cycle) dram.Cycle {
+	best := dram.Never
+	for _, r := range q {
+		bank := &c.banks[c.geo.FlatBank(r.Loc)]
+		rank := &c.ranks[r.Loc.Rank]
+		t := now + 1
+		t = max(t, bank.ReadyAt)
+		t = max(t, bank.BlockedUntil)
+		t = max(t, rank.BlockedUntil)
+		lat := c.tim.RowHitLatency()
+		if bank.OpenRow != r.Loc.Row {
+			var actDelay dram.Cycle
+			lat = c.tim.RowClosedLatency()
+			if bank.OpenRow != dram.RowNone {
+				actDelay = c.tim.TRP
+				lat = c.tim.RowMissLatency()
+			}
+			t = max(t, bank.LastActAt+c.tim.TRC+c.tim.PRACActTax-actDelay)
+			t = max(t, rank.LastActAt+c.tim.TRRDS-actDelay)
+			if c.throt != nil && !r.Injected {
+				t = max(t, c.throt.NextAllowed(t, r.Loc))
+			}
+		}
+		t = max(t, c.dataBusFreeAt-lat)
+		if t < best {
+			best = t
+		}
+	}
+	return best
 }
 
 // trySchedule starts at most one request. Returns true if progress was
@@ -286,19 +406,23 @@ func (c *Controller) service(r *Request, now dram.Cycle) {
 
 	r.Done = true
 	r.DoneAt = dataEnd
-	if r.IsWrite {
+	// Injected counter traffic is accounted only in InjRD/InjWR: folding
+	// it into the demand-side counters would skew the average read
+	// latency and bandwidth the figures normalize against (and
+	// double-count its energy, which the energy model prices via
+	// InjRD/InjWR separately).
+	switch {
+	case r.Injected && r.IsWrite:
+		c.counters.InjWR++
+	case r.Injected:
+		c.counters.InjRD++
+	case r.IsWrite:
 		c.counters.WR++
 		c.stats.WritesServed++
-		if r.Injected {
-			c.counters.InjWR++
-		}
-	} else {
+	default:
 		c.counters.RD++
 		c.stats.ReadsServed++
 		c.stats.TotalReadWait += dataEnd - r.EnqueuedAt
-		if r.Injected {
-			c.counters.InjRD++
-		}
 	}
 
 	if activated {
@@ -321,13 +445,13 @@ func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action) {
 			if c.mode == rh.VRR2 {
 				dur = c.tim.TVRR2
 			}
-			c.blockBank(a.Loc, dur)
+			c.blockBank(a.Loc, dur, now)
 			c.counters.VRR++
 		case rh.RefreshVictimsRFMsb:
-			c.blockSameBank(a.Loc, c.tim.TRFMsb)
+			c.blockSameBank(a.Loc, c.tim.TRFMsb, now)
 			c.counters.RFMsb++
 		case rh.RefreshVictimsDRFMsb:
-			c.blockSameBank(a.Loc, c.tim.TDRFMsb)
+			c.blockSameBank(a.Loc, c.tim.TDRFMsb, now)
 			c.counters.DRFMsb++
 		case rh.BulkRefreshRank:
 			c.bulkRefreshRank(now, a.Loc.Rank)
@@ -343,29 +467,34 @@ func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action) {
 			}
 			req.Addr = c.geo.Compose(a.Loc)
 			c.Enqueue(req, now)
+			// Within-tick arrival: the gate below this applyActions call
+			// may still attempt at `now` itself, as the per-cycle driver
+			// would with a zeroed backoff.
+			c.resetConsider(now)
 		}
 	}
 }
 
 // blockBank blocks the single bank of loc for dur, starting when the
-// bank next comes free (mitigations queue behind in-flight work).
-func (c *Controller) blockBank(loc dram.Loc, dur dram.Cycle) {
+// bank next comes free (mitigations queue behind in-flight work). now is
+// the cycle the triggering action is applied at.
+func (c *Controller) blockBank(loc dram.Loc, dur, now dram.Cycle) {
 	bank := &c.banks[c.geo.FlatBank(loc)]
 	start := bank.ReadyAt
 	if bank.BlockedUntil > start {
 		start = bank.BlockedUntil
 	}
 	bank.Block(start + dur)
-	c.nextConsider = 0
+	c.resetConsider(now)
 }
 
 // blockSameBank blocks the same bank index across every bank group of
 // loc's rank (RFMsb/DRFMsb semantics, §VI-G).
-func (c *Controller) blockSameBank(loc dram.Loc, dur dram.Cycle) {
+func (c *Controller) blockSameBank(loc dram.Loc, dur, now dram.Cycle) {
 	for bg := 0; bg < c.geo.BankGroups; bg++ {
 		l := loc
 		l.BankGroup = bg
-		c.blockBank(l, dur)
+		c.blockBank(l, dur, now)
 	}
 }
 
@@ -382,7 +511,7 @@ func (c *Controller) bulkRefreshRank(now dram.Cycle, rankID int) {
 	}
 	c.counters.BulkEvents++
 	c.counters.BulkRows += uint64(c.geo.BanksPerRank()) * uint64(c.geo.RowsPerBank)
-	c.nextConsider = 0
+	c.resetConsider(now)
 }
 
 func (c *Controller) removeQueued(r *Request) {

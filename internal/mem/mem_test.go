@@ -73,8 +73,10 @@ func TestSingleReadCompletes(t *testing.T) {
 	if !r.Done {
 		t.Fatal("request never completed")
 	}
-	// Closed bank: tRCD + tCL + burst.
-	want := tim.RowClosedLatency() + tim.TBurst
+	// Closed bank: tRCD + tCL + burst. A request enqueued at cycle T is
+	// schedulable from T+1 (in the full system cores enqueue after the
+	// controller's tick of the same cycle), so service starts at cycle 1.
+	want := tim.RowClosedLatency() + tim.TBurst + 1
 	if r.DoneAt != want {
 		t.Fatalf("DoneAt = %d, want %d", r.DoneAt, want)
 	}

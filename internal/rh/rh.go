@@ -161,6 +161,12 @@ type Tracker interface {
 // defenses (BlockHammer): the memory controller consults NextAllowed
 // before activating a row, leaving the request queued until the returned
 // cycle.
+//
+// NextAllowed must be a pure query (no state changes, no statistics),
+// and with no intervening activations it must keep returning the same
+// permission time until that time has passed. The event-driven engine
+// relies on both properties to predict when a throttled request becomes
+// schedulable without polling every cycle.
 type Throttler interface {
 	NextAllowed(now dram.Cycle, loc dram.Loc) dram.Cycle
 }

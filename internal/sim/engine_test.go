@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dapper/internal/attack"
+	"dapper/internal/core"
+	"dapper/internal/cpu"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/trackers/blockhammer"
+	"dapper/internal/trackers/comet"
+	"dapper/internal/trackers/hydra"
+)
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+	}{
+		{"", EngineEvent},
+		{"event", EngineEvent},
+		{"cycle", EngineCycle},
+	} {
+		got, err := ParseEngine(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+}
+
+func TestPartialTimingRejected(t *testing.T) {
+	g := dram.Baseline()
+	cfg := quickCfg(BenignTraces(mustWorkload(t, "429.mcf"), 4, g, 1))
+	cfg.Timing = dram.Timing{TRC: dram.NS(48)} // everything else zero
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("partially-filled Timing must be rejected, not silently run")
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	g := dram.Baseline()
+	cfg := quickCfg(BenignTraces(mustWorkload(t, "429.mcf"), 4, g, 1))
+	cfg.Engine = Engine("warp")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown engine must be rejected")
+	}
+}
+
+// engineScenario is one cell of the sim-level equivalence matrix.
+type engineScenario struct {
+	name    string
+	tracker TrackerFactory
+	kind    attack.Kind
+}
+
+func engineScenarios(g dram.Geometry) []engineScenario {
+	return []engineScenario{
+		{"insecure-benign", nil, attack.None},
+		{"insecure-thrash", nil, attack.CacheThrash},
+		{"dapper-h-refresh", func(ch int) rh.Tracker {
+			d, err := core.NewDapperH(ch, core.Config{Geometry: g, NRH: 500})
+			if err != nil {
+				panic(err)
+			}
+			return d
+		}, attack.Refresh},
+		// BlockHammer exercises the throttling wake-time bound, Hydra the
+		// injected counter traffic, CoMeT the bulk structure resets.
+		{"blockhammer-refresh", func(ch int) rh.Tracker {
+			return blockhammer.New(ch, blockhammer.Config{Geometry: g, NRH: 500})
+		}, attack.Refresh},
+		{"hydra-conflict", func(ch int) rh.Tracker {
+			return hydra.New(ch, hydra.Config{Geometry: g, NRH: 500})
+		}, attack.HydraConflict},
+		{"comet-rat-thrash", func(ch int) rh.Tracker {
+			return comet.New(ch, comet.Config{Geometry: g, NRH: 500})
+		}, attack.RATThrash},
+	}
+}
+
+func scenarioConfig(t *testing.T, g dram.Geometry, sc engineScenario) Config {
+	t.Helper()
+	var traces []cpu.Trace
+	if sc.kind == attack.None {
+		traces = BenignTraces(mustWorkload(t, "429.mcf"), 4, g, 3)
+	} else {
+		traces = append(BenignTraces(mustWorkload(t, "ycsb_a"), 3, g, 3),
+			attack.MustTrace(attack.Config{Geometry: g, NRH: 500, Kind: sc.kind}))
+	}
+	cfg := Config{
+		Geometry: g,
+		Traces:   traces,
+		Warmup:   dram.US(20),
+		Measure:  dram.US(80),
+	}
+	if sc.tracker != nil {
+		cfg.Tracker = sc.tracker
+	}
+	return cfg
+}
+
+// TestEngineEquivalence is the tentpole's safety net: the event engine
+// must produce a Result identical to the per-cycle reference loop.
+// Traces are generative and deterministic, so the configs rebuilt per
+// engine replay the same instruction streams.
+func TestEngineEquivalence(t *testing.T) {
+	g := dram.Baseline()
+	for _, sc := range engineScenarios(g) {
+		t.Run(sc.name, func(t *testing.T) {
+			cyc := scenarioConfig(t, g, sc)
+			cyc.Engine = EngineCycle
+			ev := scenarioConfig(t, g, sc)
+			ev.Engine = EngineEvent
+			want := MustRun(cyc)
+			got := MustRun(ev)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("engines diverge:\n cycle: %+v\n event: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestEngineDeterminism runs the same config twice under each engine and
+// requires identical Results.
+func TestEngineDeterminism(t *testing.T) {
+	g := dram.Baseline()
+	sc := engineScenarios(g)[2] // dapper-h under refresh attack
+	for _, e := range []Engine{EngineCycle, EngineEvent} {
+		cfgA := scenarioConfig(t, g, sc)
+		cfgA.Engine = e
+		cfgB := scenarioConfig(t, g, sc)
+		cfgB.Engine = e
+		if a, b := MustRun(cfgA), MustRun(cfgB); !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s engine is non-deterministic:\n %+v\n %+v", e, a, b)
+		}
+	}
+}
+
+// TestEngineEquivalenceFourRanks covers the fixed >2-rank refresh
+// stagger under both engines on an 8-channel, 4-rank geometry.
+func TestEngineEquivalenceFourRanks(t *testing.T) {
+	g := dram.Baseline()
+	g.Channels = 8
+	g.Ranks = 4
+	mk := func(e Engine) Config {
+		cfg := Config{
+			Geometry: g,
+			Traces:   BenignTraces(mustWorkload(t, "403.gcc"), 4, g, 1),
+			Warmup:   dram.US(15),
+			Measure:  dram.US(60),
+			Engine:   e,
+		}
+		return cfg
+	}
+	want := MustRun(mk(EngineCycle))
+	got := MustRun(mk(EngineEvent))
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("engines diverge on 4-rank geometry:\n cycle: %+v\n event: %+v", want, got)
+	}
+}

@@ -22,6 +22,43 @@ type TrackerFactory func(channel int) rh.Tracker
 // NopFactory is the insecure baseline.
 func NopFactory(channel int) rh.Tracker { return rh.NewNop() }
 
+// Engine selects the simulation loop strategy. Both engines produce
+// byte-identical Results (the equivalence test matrix enforces this);
+// the event engine is simply faster because it skips provably dead
+// cycles.
+type Engine string
+
+const (
+	// EngineEvent advances time directly to the next wake point — the
+	// earliest refresh deadline, tracker tick, scheduling attempt, ROB
+	// wakeup or write-back completion — whenever every component is
+	// quiescent. The default.
+	EngineEvent Engine = "event"
+	// EngineCycle ticks every component on every DRAM cycle: the
+	// reference loop, kept as an escape hatch and as the oracle the
+	// equivalence tests compare against.
+	EngineCycle Engine = "cycle"
+)
+
+// OrDefault resolves the zero value to the default engine.
+func (e Engine) OrDefault() Engine {
+	if e == "" {
+		return EngineEvent
+	}
+	return e
+}
+
+// ParseEngine parses a flag value ("event" or "cycle"; "" = default).
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "", EngineEvent:
+		return EngineEvent, nil
+	case EngineCycle:
+		return EngineCycle, nil
+	}
+	return "", fmt.Errorf("sim: unknown engine %q (event|cycle)", s)
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Geometry dram.Geometry
@@ -40,6 +77,8 @@ type Config struct {
 	// window.
 	Warmup  dram.Cycle
 	Measure dram.Cycle
+	// Engine selects the loop strategy (EngineEvent if empty).
+	Engine Engine
 }
 
 // withDefaults fills zero fields with Table I values.
@@ -47,9 +86,10 @@ func (c Config) withDefaults() Config {
 	if c.Geometry.Channels == 0 {
 		c.Geometry = dram.Baseline()
 	}
-	if c.Timing.TRC == 0 {
+	if c.Timing == (dram.Timing{}) {
 		c.Timing = dram.DDR5()
 	}
+	c.Engine = c.Engine.OrDefault()
 	if c.LLCBytes == 0 {
 		c.LLCBytes = 8 << 20
 	}
@@ -88,6 +128,12 @@ type Result struct {
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Geometry.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return Result{}, err
+	}
+	if _, err := ParseEngine(string(cfg.Engine)); err != nil {
 		return Result{}, err
 	}
 	if len(cfg.Traces) == 0 {
@@ -133,17 +179,21 @@ func Run(cfg Config) (Result, error) {
 
 	var base snapshots
 	end := cfg.Warmup + cfg.Measure
-	for now := dram.Cycle(0); now < end; now++ {
-		for _, c := range controllers {
-			c.Tick(now)
+	if cfg.Engine == EngineCycle {
+		for now := dram.Cycle(0); now < end; now++ {
+			for _, c := range controllers {
+				c.Tick(now)
+			}
+			hier.flush(now)
+			for _, c := range cores {
+				c.Step(now)
+			}
+			if now == cfg.Warmup {
+				base = snapshot(cores, controllers, trackers, llc)
+			}
 		}
-		hier.flush(now)
-		for _, c := range cores {
-			c.Step(now)
-		}
-		if now == cfg.Warmup {
-			base = snapshot(cores, controllers, trackers, llc)
-		}
+	} else {
+		base = runEvent(cfg, controllers, hier, cores, trackers, llc, end)
 	}
 	final := snapshot(cores, controllers, trackers, llc)
 
@@ -166,6 +216,92 @@ func Run(cfg Config) (Result, error) {
 		res.TrackerNames = append(res.TrackerNames, t.Name())
 	}
 	return res, nil
+}
+
+// runEvent is the event-driven loop: each component is processed only
+// when due, and time advances straight to the earliest wake across all
+// components. Correctness rests on three contracts, each of which makes
+// a component's behavior identical whether it is driven every cycle or
+// only at its wake times:
+//
+//   - mem.Controller.Tick replays the skipped backoff trajectory
+//     (catch-up) and NextEvent never reports a wake later than the
+//     first cycle the controller could change state;
+//   - cpu.Core.Step replays skipped interaction-free cycles exactly,
+//     and NextEvent's bubble horizon is a lower bound on the next
+//     memory access; a backpressure-stalled core is stepped at every
+//     iteration since its retry outcome depends on memory-system state;
+//   - all cross-component interactions (enqueue, service completion,
+//     write-back admission) happen at iteration times by construction,
+//     so skipped cycles are provably no-ops for every skipped component.
+//
+// The warmup and final cycles are never skipped: the statistics
+// snapshots must observe the same retirement state as the cycle engine.
+func runEvent(cfg Config, controllers []*mem.Controller, hier *hierarchy,
+	cores []*cpu.Core, trackers []rh.Tracker, llc *cache.Cache, end dram.Cycle) snapshots {
+	var base snapshots
+	nCtrl, nCore := len(controllers), len(cores)
+	ctrlWake := make([]dram.Cycle, nCtrl)
+	ctrlVer := make([]uint64, nCtrl)
+	ctrlTicked := make([]bool, nCtrl)
+	coreWake := make([]dram.Cycle, nCore)
+
+	for now := dram.Cycle(0); now < end; {
+		for ch, c := range controllers {
+			if now >= ctrlWake[ch] {
+				c.Tick(now)
+				ctrlTicked[ch] = true
+			}
+		}
+		hier.flush(now)
+		boundary := now == cfg.Warmup || now == end-1
+		for i, c := range cores {
+			switch {
+			case now >= coreWake[i] || c.Stalled() || boundary:
+				c.Step(now)
+				coreWake[i] = c.NextEvent(now)
+			case coreWake[i] == dram.Never:
+				// Externally blocked on an in-flight ROB head: re-poll
+				// (read-only) — the controller may just have given the
+				// request its completion time.
+				coreWake[i] = c.NextEvent(now)
+			}
+		}
+		if now == cfg.Warmup {
+			base = snapshot(cores, controllers, trackers, llc)
+		}
+
+		wake := dram.Never
+		for ch, c := range controllers {
+			if ctrlTicked[ch] || c.Version() != ctrlVer[ch] {
+				ctrlWake[ch] = c.NextEvent(now)
+				ctrlVer[ch] = c.Version()
+				ctrlTicked[ch] = false
+			}
+			if ctrlWake[ch] < wake {
+				wake = ctrlWake[ch]
+			}
+		}
+		for i := range cores {
+			if coreWake[i] < wake {
+				wake = coreWake[i]
+			}
+		}
+		if w := hier.nextEvent(now); w < wake {
+			wake = w
+		}
+		if wake < now+1 {
+			wake = now + 1
+		}
+		if now < cfg.Warmup && wake > cfg.Warmup {
+			wake = cfg.Warmup
+		}
+		if wake > end-1 && now < end-1 {
+			wake = end - 1
+		}
+		now = wake
+	}
+	return base
 }
 
 // MustRun is Run panicking on configuration errors.
@@ -271,6 +407,21 @@ func (h *hierarchy) getReq() *mem.Request {
 		return r
 	}
 	return &mem.Request{}
+}
+
+// nextEvent returns the earliest future cycle at which the backlog
+// changes on its own: the next in-flight write-back completion.
+// Admission retries for not-yet-enqueued write-backs piggyback on
+// controller events (a queue slot only frees when a controller services
+// a request, which is a controller wake).
+func (h *hierarchy) nextEvent(now dram.Cycle) dram.Cycle {
+	next := dram.Never
+	for _, r := range h.backlog {
+		if r.Done && r.DoneAt > now && r.DoneAt < next {
+			next = r.DoneAt
+		}
+	}
+	return next
 }
 
 // flush retires completed write-backs and retries queued ones.
