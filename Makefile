@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-engine-equivalence bench-smoke bench-compare ci
+.PHONY: all build vet test test-engine-equivalence bench-smoke bench-compare adversary-smoke bench-adversary ci
 
 all: build vet test
 
@@ -29,4 +29,15 @@ bench-smoke:
 bench-compare:
 	$(GO) run ./cmd/dapper-engine-bench -exp fig11 -out BENCH_engine.json
 
-ci: build vet test test-engine-equivalence bench-smoke bench-compare
+# Worst-case attack search smoke: a deterministic tiny-profile search
+# against two trackers (fixed seed, well under a minute). CI uploads
+# the resilience reports it writes to adversary-smoke/.
+adversary-smoke:
+	$(GO) run ./cmd/dapper-adversary -tracker hydra,comet -profile tiny -budget 10 -seed 1 -out adversary-smoke
+
+# Benchmark adversary throughput (candidate evaluations per second)
+# and record it in BENCH_adversary.json.
+bench-adversary:
+	$(GO) run ./cmd/dapper-adversary -tracker dapper-h -profile tiny -budget 16 -seed 1 -out adversary-bench -bench BENCH_adversary.json
+
+ci: build vet test test-engine-equivalence bench-smoke bench-compare adversary-smoke bench-adversary

@@ -45,6 +45,7 @@ func main() {
 	attackName := flag.String("attack", "none", "companion attack kind ('none' = benign run)")
 	modeName := flag.String("mode", "VRR-BR1", "mitigation mode (VRR-BR1|VRR-BR2|RFMsb|DRFMsb)")
 	profile := flag.String("profile", "quick", "quick or full (windows, geometry, seed)")
+	seed := flag.Uint64("seed", 0, "override the profile's workload/attack trace seed (0 = profile default)")
 	engineName := flag.String("engine", "event", "simulation engine: event (time-skipping, default) or cycle (per-cycle reference)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (<=0 = NumCPU)")
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
@@ -73,6 +74,9 @@ func main() {
 		fatal(err)
 	}
 	p.Engine = engine
+	if *seed != 0 {
+		p.Seed = *seed
+	}
 
 	if *jobs <= 0 {
 		*jobs = runtime.NumCPU()

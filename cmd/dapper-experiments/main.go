@@ -30,6 +30,7 @@ import (
 func main() {
 	expID := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	profile := flag.String("profile", "quick", "quick or full")
+	seed := flag.Uint64("seed", 0, "override the profile's workload/attack trace seed (0 = profile default)")
 	engineName := flag.String("engine", "event", "simulation engine: event (time-skipping, default) or cycle (per-cycle reference)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (<=0 = NumCPU)")
 	cacheDir := flag.String("cache", "", "disk result-cache directory (reruns hit the cache)")
@@ -60,6 +61,9 @@ func main() {
 		os.Exit(2)
 	}
 	p.Engine = engine
+	if *seed != 0 {
+		p.Seed = *seed
+	}
 
 	if *jobs <= 0 {
 		*jobs = runtime.NumCPU()

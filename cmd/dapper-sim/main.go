@@ -69,24 +69,15 @@ func trackerFactory(name string, geo dram.Geometry, nrh uint32) (sim.TrackerFact
 	return nil, fmt.Errorf("unknown tracker %q", name)
 }
 
-func attackKind(name string) (attack.Kind, error) {
-	for _, k := range []attack.Kind{attack.None, attack.CacheThrash, attack.HydraConflict,
-		attack.StreamingSweep, attack.RATThrash, attack.DistinctRows, attack.Refresh} {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown attack %q", name)
-}
-
 func main() {
 	wl := flag.String("workload", "429.mcf", "benign workload name")
 	tr := flag.String("tracker", "dapper-h", "tracker: none|dapper-s|dapper-h|hydra|start|comet|abacus|blockhammer|para|pride|prac")
-	atk := flag.String("attack", "none", "attack on the 4th core: none|cache-thrash|hydra-conflict|streaming|rat-thrash|distinct-rows|refresh")
+	atk := flag.String("attack", "none", "attack on the 4th core: none|cache-thrash|hydra-conflict|streaming|rat-thrash|distinct-rows|refresh|parametric")
 	nrh := flag.Uint("nrh", 500, "RowHammer threshold")
 	measureUS := flag.Float64("measure", 400, "measurement window in microseconds")
 	warmupUS := flag.Float64("warmup", 100, "warmup window in microseconds")
 	rowsPerBank := flag.Uint("rows-per-bank", 0, "override rows per bank (0 = full 64K)")
+	seed := flag.Uint64("seed", 1, "workload + attack trace seed (reproducible runs)")
 	engineName := flag.String("engine", "event", "simulation engine: event (time-skipping, default) or cycle (per-cycle reference)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -112,7 +103,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	kind, err := attackKind(*atk)
+	kind, err := attack.ParseKind(*atk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -123,8 +114,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	var traces = sim.BenignTraces(w, 3, geo, 1)
-	traces = append(traces, attack.MustTrace(attack.Config{Geometry: geo, NRH: uint32(*nrh), Kind: kind}))
+	var traces = sim.BenignTraces(w, 3, geo, *seed)
+	traces = append(traces, attack.MustTrace(attack.Config{Geometry: geo, NRH: uint32(*nrh), Kind: kind, Seed: *seed}))
 
 	res, err := sim.Run(sim.Config{
 		Geometry: geo,

@@ -86,6 +86,45 @@
 // event engine is strictly faster (≥2x on the benign figure benchmarks,
 // tracked in BENCH_engine.json via `make bench-compare`).
 //
+// # Worst-case attack search (internal/attack Parametric, internal/adversary)
+//
+// The paper evaluates each tracker against the hand-written attack its
+// authors anticipated (attack.ForTracker). internal/adversary stress
+// tests the resilience claim beyond that set: it searches a parametric
+// attack space for the access pattern that maximizes benign-core
+// slowdown against a chosen tracker.
+//
+// The space is attack.Params, driving the attack.Parametric kind: row
+// working-set size and interleave, bank/rank fan-out, hot/cold row mix,
+// inter-access compute bubbles, cacheable (LLC-polluting) fraction, and
+// a phase period alternating the attack with a quiet pattern (on/off
+// shapes that dodge throttling- and reset-based trackers). Every
+// hand-written Kind is a point in this space — attack.PointFor returns
+// it, and the expressibility tests prove record-for-record equality —
+// so the search starts from the known attacks and can only improve.
+//
+// The optimizer is black-box and deterministic: seeded random sampling
+// over a projected search space (adversary.NewSpace), successive
+// halving over shortened measurement horizons, then coordinate
+// hill-climbing on the survivors at the full horizon. Each candidate
+// evaluation is one harness job (exp.AdversaryJob), so the pool
+// parallelizes, deduplicates and caches them; harness.Descriptor folds
+// the canonical param-vector encoding into the cache key
+// (AttackParams), making revisited points free while keeping nearby
+// points from aliasing. The result is a per-tracker resilience report
+// (adversary.Report): worst-found params, slowdown versus the
+// hand-crafted tailored attack, and the full search trace — serialized
+// deterministically, so equal -seed and -budget runs are byte-identical.
+//
+// A 30-second taste (tiny profile, three trackers):
+//
+//	go run ./cmd/dapper-adversary -tracker hydra,comet,dapper-h -profile tiny -budget 10 -seed 1
+//
+// `make adversary-smoke` runs the CI-pinned variant and uploads the
+// JSONL reports as a CI artifact; `make bench-adversary` tracks search
+// throughput (candidate evaluations per second) in BENCH_adversary.json.
+// See examples/adversary for the in-process API.
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package dapper

@@ -1,0 +1,140 @@
+package adversary
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+)
+
+// Candidate identifies one evaluated attack: a label for the search
+// trace ("kind:refresh", "rand-9", "climb-3"), the attack-space point,
+// and — for points inside the projected search space — its vector.
+type Candidate struct {
+	Label     string        `json:"label"`
+	Params    attack.Params `json:"params"`
+	Canonical string        `json:"canonical"`
+	Vector    Vector        `json:"vector,omitempty"`
+}
+
+// Eval is one completed evaluation: a candidate at a measurement
+// horizon, with the observed benign-core damage. Slowdown is the
+// paper's Figures 1/3 metric inverted: benign IPC under the insecure
+// idle-companion baseline divided by benign IPC under (tracker,
+// attack) — 1.0 means the attack cost nothing, 2.0 means benign cores
+// run at half speed.
+type Eval struct {
+	Candidate
+	Rung     int        `json:"rung"`
+	Measure  dram.Cycle `json:"measure"`
+	NormPerf float64    `json:"norm_perf"`
+	Slowdown float64    `json:"slowdown"`
+}
+
+// Report is the resilience report for one tracker: the worst-found
+// attack, the hand-crafted reference it is judged against, and the full
+// search trace. All fields are deterministic for a (seed, budget) pair
+// — no wall-clock anywhere — so two identical runs serialize to
+// identical bytes.
+type Report struct {
+	Tracker     string `json:"tracker"`      // batch id ("hydra")
+	TrackerName string `json:"tracker_name"` // display name ("Hydra")
+	Workload    string `json:"workload"`
+	NRH         uint32 `json:"nrh"`
+	Profile     string `json:"profile"`
+	Seed        uint64 `json:"seed"`
+	Budget      int    `json:"budget"`
+	// Evals counts candidate evaluations charged against the budget;
+	// BaselineRuns the insecure-reference submissions outside it (the
+	// pool deduplicates repeats, so most are free).
+	Evals        int `json:"evals"`
+	BaselineRuns int `json:"baseline_runs"`
+
+	// Reference is the hand-crafted attack.ForTracker pattern at the
+	// full horizon; Best the worst-found attack. Best.Slowdown >=
+	// Reference.Slowdown always holds: the reference is itself a
+	// candidate of the final rung.
+	Reference Eval    `json:"reference"`
+	Best      Eval    `json:"best"`
+	Gain      float64 `json:"gain"` // Best.Slowdown / Reference.Slowdown
+
+	Trace []Eval `json:"trace,omitempty"`
+}
+
+// WriteJSONL streams the report as JSON lines: one "eval" line per
+// trace entry in evaluation order, then one "summary" line without the
+// trace. The format matches the harness JSONL sink's
+// one-object-per-line convention so the same tooling consumes both.
+func (r *Report) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Trace {
+		line := struct {
+			Type    string `json:"type"`
+			Tracker string `json:"tracker"`
+			Eval
+		}{"eval", r.Tracker, r.Trace[i]}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	summary := *r
+	summary.Trace = nil
+	return enc.Encode(struct {
+		Type string `json:"type"`
+		Report
+	}{"summary", summary})
+}
+
+// WriteCSV writes the search trace as a flat table (one row per
+// evaluation, ending with the summary row), mirroring the harness CSV
+// sink's shape for spreadsheet-side analysis.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"tracker", "workload", "label", "rung", "measure", "norm_perf", "slowdown", "params",
+	}); err != nil {
+		return err
+	}
+	row := func(e Eval) []string {
+		return []string{
+			r.Tracker, r.Workload, e.Label,
+			strconv.Itoa(e.Rung), strconv.FormatInt(e.Measure, 10),
+			strconv.FormatFloat(e.NormPerf, 'g', -1, 64),
+			strconv.FormatFloat(e.Slowdown, 'g', -1, 64),
+			e.Canonical,
+		}
+	}
+	for _, e := range r.Trace {
+		if err := cw.Write(row(e)); err != nil {
+			return err
+		}
+	}
+	best := row(r.Best)
+	best[2] = "best:" + r.Best.Label
+	if err := cw.Write(best); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary returns the one-line human-readable verdict.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%-12s worst-found %s (%s) vs hand-crafted %s (%s): %+.1f%% [%d evals]",
+		r.TrackerName, fmtSlowdown(r.Best.Slowdown), r.Best.Label,
+		fmtSlowdown(r.Reference.Slowdown), r.Reference.Label,
+		(r.Gain-1)*100, r.Evals)
+}
+
+// fmtSlowdown renders the floored starvation ceiling as a word instead
+// of a 1e9 ratio.
+func fmtSlowdown(s float64) string {
+	if s >= 1e9 {
+		return "starved"
+	}
+	return fmt.Sprintf("%.3fx", s)
+}

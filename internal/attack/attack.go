@@ -46,6 +46,11 @@ const (
 	// Mapping-Agnostic refresh attack on DAPPER-S/H (§V-E), maximising
 	// mitigative refreshes.
 	Refresh
+	// Parametric generates a trace from an explicit Params point in the
+	// attack space (Config.Params). Every other kind is one such point
+	// (PointFor); internal/adversary searches the space for worst-case
+	// performance attacks.
+	Parametric
 )
 
 func (k Kind) String() string {
@@ -64,6 +69,8 @@ func (k Kind) String() string {
 		return "distinct-rows"
 	case Refresh:
 		return "refresh"
+	case Parametric:
+		return "parametric"
 	}
 	return "unknown"
 }
@@ -71,7 +78,7 @@ func (k Kind) String() string {
 // Kinds returns every attack kind in declaration order.
 func Kinds() []Kind {
 	return []Kind{None, CacheThrash, HydraConflict, StreamingSweep,
-		RATThrash, DistinctRows, Refresh}
+		RATThrash, DistinctRows, Refresh, Parametric}
 }
 
 // ParseKind returns the kind whose String() matches name
@@ -109,6 +116,12 @@ type Config struct {
 	Geometry dram.Geometry
 	NRH      uint32
 	Kind     Kind
+	// Params is the attack-space point driven by the Parametric kind
+	// (ignored by every other kind).
+	Params Params
+	// Seed drives the Parametric kind's stochastic mixture draws; fully
+	// deterministic points ignore it. 0 means 1.
+	Seed uint64
 }
 
 // NewTrace builds the trace for an attack kind.
@@ -128,6 +141,8 @@ func NewTrace(cfg Config) (cpu.Trace, error) {
 		return newDistinctRows(cfg.Geometry), nil
 	case Refresh:
 		return newRefresh(cfg.Geometry), nil
+	case Parametric:
+		return newParametric(cfg.Geometry, cfg.Params, cfg.Seed)
 	}
 	return nil, fmt.Errorf("attack: unknown kind %d", cfg.Kind)
 }

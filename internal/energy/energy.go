@@ -45,6 +45,12 @@ func (m Model) Joules(c dram.Counters, cycles dram.Cycle, channels int, mode rh.
 	nj += float64(c.ACT) * m.ActPreNJ
 	nj += float64(c.RD) * m.ReadNJ
 	nj += float64(c.WR) * m.WriteNJ
+	// Tracker-injected counter traffic is real DRAM bursts; since the
+	// accounting split it is disjoint from the demand RD/WR counters, so
+	// total energy must price it here as well (its ACTs are still in
+	// Counters.ACT above).
+	nj += float64(c.InjRD) * m.ReadNJ
+	nj += float64(c.InjWR) * m.WriteNJ
 	nj += float64(c.REF) * m.RefNJ
 
 	rowsPerVRR := float64(2 * mode.BlastRadius()) // victims on both sides

@@ -77,6 +77,18 @@ func TestMitigationJoulesCountsCounterTraffic(t *testing.T) {
 	}
 }
 
+// TestJoulesCountsInjectedTraffic: since the demand/injected accounting
+// split, InjRD/InjWR are disjoint from RD/WR — total energy must price
+// the injected bursts too, identically to demand bursts.
+func TestJoulesCountsInjectedTraffic(t *testing.T) {
+	m := DDR5()
+	demand := m.Joules(dram.Counters{RD: 1000, WR: 500}, 0, 2, rh.VRR1)
+	injected := m.Joules(dram.Counters{InjRD: 1000, InjWR: 500}, 0, 2, rh.VRR1)
+	if demand == 0 || demand != injected {
+		t.Fatalf("injected bursts priced %.3gJ, demand bursts %.3gJ; must match", injected, demand)
+	}
+}
+
 func TestOverheadNeverNegative(t *testing.T) {
 	m := DDR5()
 	base := dram.Counters{ACT: 100000, RD: 100000}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/harness"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/workloads"
+)
+
+// AttackPoint names the attacker for one adversary evaluation: either a
+// hand-written kind or an explicit point in the parametric space.
+type AttackPoint struct {
+	Kind   attack.Kind
+	Params attack.Params // consulted when Kind == attack.Parametric
+}
+
+// AdversaryJob builds the harness job running tracker id (a
+// KnownTrackers key) against the attack point over workload w: three
+// benign copies plus the attacker core, profile warmup — the Figures
+// 1/3 co-run shape, with the measurement horizon overridable so
+// successive-halving rungs can shorten it. The descriptor folds the
+// parametric point's canonical encoding into the cache key, so
+// re-evaluations of a search point are free while nearby points never
+// alias.
+//
+// Every evaluation uses Profile.Geometry: a search compares candidates
+// against one fixed system, so the per-attack geometry switching of the
+// paper's DAPPER figures (dapperGeoFor: scaled rows so a whole-rank
+// streaming pass fits the window) does not apply. A fixed-geometry
+// search still covers that regime because the row working-set size is
+// itself a searched dimension — a candidate that would need a scaled
+// bank simply uses fewer rows. To search on a scaled system outright,
+// set Profile.Geometry to dram.Scaled(...) before building jobs.
+func AdversaryJob(p Profile, trackerID string, w workloads.Workload, nrh uint32,
+	mode rh.MitigationMode, pt AttackPoint, measure dram.Cycle) (harness.Job, error) {
+	build, ok := trackerBuilders[trackerID]
+	if !ok {
+		return harness.Job{}, fmt.Errorf("exp: unknown tracker %q (known: %v)", trackerID, KnownTrackers())
+	}
+	if pt.Kind == attack.Parametric {
+		if err := pt.Params.Validate(); err != nil {
+			return harness.Job{}, err
+		}
+	}
+	if measure == 0 {
+		measure = p.Measure
+	}
+	s := runSpec{
+		workload:     w,
+		geo:          p.Geometry,
+		nrh:          nrh,
+		tracker:      build(p.Geometry, nrh, mode),
+		attack:       pt.Kind,
+		attackParams: pt.Params,
+		warmup:       p.Warmup,
+		measure:      measure,
+		seed:         p.Seed,
+		engine:       p.Engine,
+	}
+	return harness.Job{
+		Desc: s.descriptor(),
+		Run:  func() (sim.Result, error) { return run(s) },
+	}, nil
+}
+
+// AdversaryBaselineJob builds the normalization reference for adversary
+// evaluations: the insecure system with an idle companion core (the
+// Figures 1/3 baseline), at the same horizon. It is tracker-independent,
+// so one pool deduplicates it across every searched tracker.
+func AdversaryBaselineJob(p Profile, w workloads.Workload, measure dram.Cycle) harness.Job {
+	if measure == 0 {
+		measure = p.Measure
+	}
+	s := runSpec{
+		workload: w,
+		geo:      p.Geometry,
+		nrh:      p.NRH,
+		attack:   attack.None,
+		warmup:   p.Warmup,
+		measure:  measure,
+		seed:     p.Seed,
+		engine:   p.Engine,
+	}
+	return harness.Job{
+		Desc: s.descriptor(),
+		Run:  func() (sim.Result, error) { return run(s) },
+	}
+}
+
+// TrackerName resolves a batch tracker id to the display name
+// attack.ForTracker keys on ("Hydra", "START", ...; "none" for the
+// insecure baseline id).
+func TrackerName(id string) (string, error) {
+	build, ok := trackerBuilders[id]
+	if !ok {
+		return "", fmt.Errorf("exp: unknown tracker %q (known: %v)", id, KnownTrackers())
+	}
+	ts := build(dram.Baseline(), 500, rh.VRR1)
+	if ts.Factory == nil {
+		return "none", nil
+	}
+	return ts.Name, nil
+}

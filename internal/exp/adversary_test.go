@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"testing"
+
+	"dapper/internal/attack"
+)
+
+// TestAdversaryJobDescriptor: parametric evaluations must carry their
+// param vector into the cache key; native-kind evaluations must key
+// exactly like the figure runs (no AttackParams).
+func TestAdversaryJobDescriptor(t *testing.T) {
+	p := Tiny()
+	w := p.Workloads[0]
+	params := attack.Params{Steady: attack.Pattern{Rows: 128, HotFrac: 0.5, HotRows: 2}}
+	pj, err := AdversaryJob(p, "hydra", w, 500, 0,
+		AttackPoint{Kind: attack.Parametric, Params: params}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj.Desc.Attack != "parametric" || pj.Desc.AttackParams != params.Canonical() {
+		t.Fatalf("parametric descriptor = %+v", pj.Desc)
+	}
+	if pj.Desc.Measure != p.Measure {
+		t.Fatalf("measure 0 must default to the profile's %d, got %d", p.Measure, pj.Desc.Measure)
+	}
+
+	nj, err := AdversaryJob(p, "hydra", w, 500, 0,
+		AttackPoint{Kind: attack.HydraConflict}, p.Measure/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nj.Desc.AttackParams != "" {
+		t.Fatalf("native kind leaked attack params: %q", nj.Desc.AttackParams)
+	}
+	if nj.Desc.Measure != p.Measure/2 {
+		t.Fatalf("horizon override ignored: %d", nj.Desc.Measure)
+	}
+	if pj.Desc.Key() == nj.Desc.Key() {
+		t.Fatal("parametric and native runs alias one cache key")
+	}
+
+	other := params
+	other.Steady.Rows = 129
+	oj, err := AdversaryJob(p, "hydra", w, 500, 0,
+		AttackPoint{Kind: attack.Parametric, Params: other}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oj.Desc.Key() == pj.Desc.Key() {
+		t.Fatal("nearby search points alias one cache key")
+	}
+
+	if _, err := AdversaryJob(p, "nope", w, 500, 0, AttackPoint{}, 0); err == nil {
+		t.Fatal("unknown tracker accepted")
+	}
+
+	base := AdversaryBaselineJob(p, w, 0)
+	if base.Desc.Tracker != "none" || base.Desc.Attack != "none" {
+		t.Fatalf("baseline descriptor = %+v", base.Desc)
+	}
+}
+
+func TestTrackerName(t *testing.T) {
+	cases := map[string]string{
+		"none": "none", "hydra": "Hydra", "start": "START", "comet": "CoMeT",
+		"abacus": "ABACUS", "dapper-h": "DAPPER-H",
+	}
+	for id, want := range cases {
+		got, err := TrackerName(id)
+		if err != nil {
+			t.Fatalf("TrackerName(%s): %v", id, err)
+		}
+		if got != want {
+			t.Fatalf("TrackerName(%s) = %s, want %s", id, got, want)
+		}
+	}
+	if _, err := TrackerName("bogus"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

@@ -19,7 +19,10 @@ type runSpec struct {
 	nrh      uint32
 	tracker  trackerSpec // zero-value Factory = insecure
 	attack   attack.Kind // None = idle 4th core; benign-only runs use 4 copies
-	benign4  bool        // 4 homogeneous copies instead of 3+companion
+	// attackParams is the attack-space point driven when attack is
+	// Parametric (the adversary search path); ignored otherwise.
+	attackParams attack.Params
+	benign4      bool // 4 homogeneous copies instead of 3+companion
 	// baselineWithAttack selects the paper's two normalizations:
 	// false (Figures 1/3/4/5): baseline = insecure system with an idle
 	// companion, so the bar shows TOTAL damage (attacker bandwidth +
@@ -44,20 +47,25 @@ func (s runSpec) descriptor() harness.Descriptor {
 	if s.tracker.Factory == nil {
 		name = "none"
 	}
+	var aparams string
+	if s.attack == attack.Parametric {
+		aparams = s.attackParams.Canonical()
+	}
 	return harness.Descriptor{
-		Tracker:  name,
-		Mode:     s.tracker.Mode.String(),
-		NRH:      s.nrh,
-		Workload: s.workload.Name,
-		Attack:   s.attack.String(),
-		Benign4:  s.benign4,
-		Geometry: s.geo,
-		Timing:   "ddr5",
-		LLCBytes: s.llcBytes,
-		Warmup:   s.warmup,
-		Measure:  s.measure,
-		Seed:     s.seed,
-		Engine:   string(s.engine.OrDefault()),
+		Tracker:      name,
+		Mode:         s.tracker.Mode.String(),
+		NRH:          s.nrh,
+		Workload:     s.workload.Name,
+		Attack:       s.attack.String(),
+		AttackParams: aparams,
+		Benign4:      s.benign4,
+		Geometry:     s.geo,
+		Timing:       "ddr5",
+		LLCBytes:     s.llcBytes,
+		Warmup:       s.warmup,
+		Measure:      s.measure,
+		Seed:         s.seed,
+		Engine:       string(s.engine.OrDefault()),
 	}
 }
 
@@ -68,9 +76,14 @@ func run(s runSpec) (sim.Result, error) {
 		traces = sim.BenignTraces(s.workload, 4, s.geo, s.seed)
 	} else {
 		traces = sim.BenignTraces(s.workload, 3, s.geo, s.seed)
-		traces = append(traces, attack.MustTrace(attack.Config{
+		atk, err := attack.NewTrace(attack.Config{
 			Geometry: s.geo, NRH: s.nrh, Kind: s.attack,
-		}))
+			Params: s.attackParams, Seed: s.seed,
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		traces = append(traces, atk)
 	}
 	cfg := sim.Config{
 		Geometry: s.geo,

@@ -26,6 +26,12 @@ type Descriptor struct {
 	// Benign4 selects four homogeneous copies instead of 3+companion.
 	Attack  string `json:"attack"`
 	Benign4 bool   `json:"benign4"`
+	// AttackParams is the canonical encoding of the parametric attack
+	// point (attack.Params.Canonical()) when Attack is "parametric",
+	// empty otherwise. Folding the full param vector into the key keeps
+	// adversary-search re-evaluations cache-served while preventing
+	// nearby search points from aliasing each other's results.
+	AttackParams string `json:"attack_params,omitempty"`
 
 	Geometry dram.Geometry `json:"geometry"`
 	// Timing tags the timing set ("ddr5" = the Table I defaults).
@@ -53,9 +59,9 @@ func (d Descriptor) Key() string {
 	h := sha256.New()
 	g := d.Geometry
 	fmt.Fprintf(h,
-		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|benign4=%t|"+
+		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|aparams=%s|benign4=%t|"+
 			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|extra=%s",
-		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.Benign4,
+		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.AttackParams, d.Benign4,
 		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.RowsPerBank,
 		g.RowBytes, g.LineBytes,
 		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Extra)

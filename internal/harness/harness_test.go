@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dapper/internal/attack"
 	"dapper/internal/dram"
 	"dapper/internal/sim"
 )
@@ -85,6 +86,9 @@ func TestDescriptorKeySensitivity(t *testing.T) {
 	d = base
 	d.Extra = "x"
 	variants["extra"] = d
+	d = base
+	d.AttackParams = "s(r1...)"
+	variants["attack_params"] = d
 
 	seen := map[string]string{base.Key(): "base"}
 	for name, v := range variants {
@@ -93,6 +97,39 @@ func TestDescriptorKeySensitivity(t *testing.T) {
 			t.Fatalf("changing %s collides with %s", name, prev)
 		}
 		seen[k] = name
+	}
+}
+
+// TestDescriptorAttackParamsNoAliasing is the adversary-search cache
+// regression: nearby points in the parametric attack space must never
+// alias one cached result, and the canonical encoding must be the only
+// thing distinguishing them.
+func TestDescriptorAttackParamsNoAliasing(t *testing.T) {
+	mk := func(p attack.Params) Descriptor {
+		d := testDesc("429.mcf", 500)
+		d.Attack = attack.Parametric.String()
+		d.AttackParams = p.Canonical()
+		return d
+	}
+	base := attack.Params{Steady: attack.Pattern{Rows: 384, Banks: 32, HotFrac: 0.5}}
+	near := base
+	near.Steady.Rows = 385
+	frac := base
+	frac.Steady.HotFrac = 0.5001
+	phase := base
+	phase.Period = 4096
+	keys := map[string]string{}
+	for name, p := range map[string]attack.Params{
+		"base": base, "near": near, "frac": frac, "phase": phase,
+	} {
+		k := mk(p).Key()
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("param vector %s aliases %s in the cache key", name, prev)
+		}
+		keys[k] = name
+	}
+	if mk(base).Key() != mk(base).Key() {
+		t.Fatal("same param vector must key identically (cache reuse)")
 	}
 }
 
