@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-engine-equivalence bench-smoke bench-compare adversary-smoke bench-adversary ci
+.PHONY: all build vet test test-race test-engine-equivalence fuzz-smoke audit-smoke bench-smoke bench-compare adversary-smoke bench-adversary ci
 
 all: build vet test
 
@@ -13,11 +13,36 @@ vet:
 test:
 	$(GO) test ./...
 
+# Full suite under the race detector: the harness worker pool, sinks and
+# result cache are the only concurrent structures, and this is what keeps
+# them honest.
+test-race:
+	$(GO) test -race ./...
+
 # The event-engine safety net, run explicitly so a regression is named in
-# CI output: sim's scenario matrix plus exp's full tracker matrix must
-# prove the event and cycle engines produce identical Results.
+# CI output: sim's scenario matrix, exp's full tracker matrix, and
+# adversary's sampled-parametric-point matrix (with the security oracle
+# attached) must prove the event and cycle engines produce identical
+# Results.
 test-engine-equivalence:
-	$(GO) test -run 'TestEngineEquivalence|TestEngineDeterminism' -v -count=1 ./internal/sim ./internal/exp
+	$(GO) test -run 'TestEngineEquivalence|TestEngineDeterminism' -v -count=1 ./internal/sim ./internal/exp ./internal/adversary
+
+# Short-budget native fuzzing of the two pure-function attack surfaces:
+# parametric trace generation (geometry bounds + replay determinism) and
+# the physical address mapping (decompose/compose bijection). Seed
+# corpora live under testdata/fuzz/ and replay in every plain `go test`.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParamsTrace -fuzztime=15s ./internal/attack
+	$(GO) test -run=NONE -fuzz=FuzzDecompose -fuzztime=15s ./internal/dram
+
+# Security conformance smoke: the shadow oracle audits every registered
+# tracker under three tailored attacks and two mitigation-command modes
+# at NRH 125 (tiny profile, seconds). -check enforces the expectation:
+# the insecure baseline must escape, every real tracker must not. The
+# matrix in audit-smoke/ is byte-identical across reruns and across
+# -engine event/cycle; CI uploads it as an artifact.
+audit-smoke:
+	$(GO) run ./cmd/dapper-audit -profile tiny -tracker all -attack hammer,refresh,streaming -mode vrr-br1,rfmsb -nrh 125 -seed 1 -check -out audit-smoke
 
 # One iteration of every benchmark: a smoke reproduction of each table
 # and figure under the reduced bench profile.
@@ -40,4 +65,4 @@ adversary-smoke:
 bench-adversary:
 	$(GO) run ./cmd/dapper-adversary -tracker dapper-h -profile tiny -budget 16 -seed 1 -out adversary-bench -bench BENCH_adversary.json
 
-ci: build vet test test-engine-equivalence bench-smoke bench-compare adversary-smoke bench-adversary
+ci: build vet test test-race test-engine-equivalence audit-smoke fuzz-smoke bench-smoke bench-compare adversary-smoke bench-adversary

@@ -45,6 +45,7 @@ func main() {
 	wname := flag.String("workload", "429.mcf", "benign workload co-running with the searched attacker")
 	nrh := flag.Uint("nrh", 0, "RowHammer threshold (0 = profile default)")
 	modeName := flag.String("mode", "VRR-BR1", "mitigation mode (VRR-BR1|VRR-BR2|RFMsb|DRFMsb)")
+	objectiveName := flag.String("objective", "perf", "search objective: perf (worst slowdown) or escapes (security-guarantee violations via the shadow oracle)")
 	budget := flag.Int("budget", 32, "candidate evaluations per tracker")
 	seed := flag.Uint64("seed", 1, "search + workload seed (same seed and budget = byte-identical reports)")
 	profile := flag.String("profile", "quick", "tiny, quick or full (windows, geometry)")
@@ -85,6 +86,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	objective, err := adversary.ParseObjective(*objectiveName)
+	if err != nil {
+		fatal(err)
+	}
 	w, err := workloads.ByName(*wname)
 	if err != nil {
 		fatal(err)
@@ -120,6 +125,7 @@ func main() {
 			Workload:  w,
 			NRH:       uint32(*nrh),
 			Mode:      mode,
+			Objective: objective,
 			Profile:   p,
 			Budget:    *budget,
 			Seed:      *seed,

@@ -125,6 +125,47 @@
 // throughput (candidate evaluations per second) in BENCH_adversary.json.
 // See examples/adversary for the in-process API.
 //
+// # Shadow security oracle (internal/secaudit, cmd/dapper-audit)
+//
+// Performance is only half of a defense evaluation; the other half is
+// whether the tracker actually holds its guarantee. internal/secaudit
+// is an independent oracle for exactly that property: no DRAM row may
+// absorb NRH hammering activations between two refreshes of that row.
+//
+// The oracle implements rh.Observer, a passive tap every memory
+// controller exposes (mem.Controller.SetObserver, wired through
+// sim.Config.Observer): it sees every ACT, every mitigation command
+// with its blast radius (VRR at the mode's radius, Same-Bank RFM/DRFM
+// fanned across bank groups), every per-rank REF — whose slots cycle
+// over the row space, giving each row its tREFW refresh boundary — and
+// every bulk structure-reset sweep. From these it keeps a per-(channel,
+// rank, bank) victim-side ledger: an ACT on row R charges R's
+// neighbors; refreshing a row zeroes its charge; a row reaching NRH
+// unrefreshed is an Escape. The report (secaudit.Report) carries
+// escapes, distinct escaped rows, the maximum charge any row reached
+// and the margin left — and, because it is derived purely from the
+// deterministic event stream, it must be byte-identical across the
+// event and cycle engines, making the oracle a second, independent
+// equivalence check on the time-skip engine.
+//
+// exp.SecurityRequest fans a tracker x attack x mode x NRH conformance
+// sweep through the harness (runs carrying the oracle are tagged in the
+// cache key via Descriptor.Audit, so audited and unaudited results
+// never alias), and cmd/dapper-audit renders the sweep as a
+// deterministic JSONL/CSV conformance matrix:
+//
+//	go run ./cmd/dapper-audit -profile tiny -tracker all -nrh 125 -check
+//
+// -check enforces the conformance expectation: the insecure baseline
+// ("none") must escape under the tailored attacks while every real
+// tracker reports zero. `make audit-smoke` is the CI-pinned variant;
+// the matrix is byte-identical across reruns and across -engine
+// event/cycle. The adversary search can hunt escapes directly with
+// `-objective escapes`: candidates are then ranked by oracle verdict
+// (escapes, then max charge) with slowdown as the tie-break, seeding
+// the conformance matrix's focused-hammer point alongside the
+// hand-written kinds. See examples/secaudit for the in-process API.
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package dapper

@@ -1,0 +1,79 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/exp"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/workloads"
+)
+
+// TestEngineEquivalenceParametric extends the engine-equivalence matrix
+// beyond the hand-written attack kinds: seeded samples from the
+// adversary search space — the exact traces the search evaluates — must
+// produce identical Results under the event and cycle engines. One
+// point per tracker keeps the matrix seconds-long while still crossing
+// every tracker's state machine with a randomly-shaped attacker; the
+// audited variant additionally proves the shadow oracle's verdict is
+// engine-independent on these traces.
+func TestEngineEquivalenceParametric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is seconds-long; skipped in -short")
+	}
+	p := exp.Tiny()
+	p.Seed = 3
+	space := NewSpace(p.Geometry)
+	rng := newRNG(11)
+	w, err := workloads.ByName("ycsb_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackers := []string{"none", "hydra", "comet", "blockhammer", "dapper-h"}
+	for _, id := range trackers {
+		v := space.Sample(rng)
+		params := space.Params(v)
+		t.Run(id, func(t *testing.T) {
+			mk := func(engine sim.Engine, audited bool) sim.Result {
+				pe := p
+				pe.Engine = engine
+				pt := exp.AttackPoint{Kind: attack.Parametric, Params: params}
+				var res sim.Result
+				if audited {
+					j, err := exp.SecurityJob(pe, id, w, 500, rh.VRR1, pt, dram.US(25), false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err = j.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					j, err := exp.AdversaryJob(pe, id, w, 500, rh.VRR1, pt, dram.US(25))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err = j.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				return res
+			}
+			for _, audited := range []bool{false, true} {
+				want := mk(sim.EngineCycle, audited)
+				got := mk(sim.EngineEvent, audited)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("audited=%v: engines diverge on %s\n cycle: %+v\n event: %+v",
+						audited, params.Canonical(), want, got)
+				}
+				if audited && got.Audit == nil {
+					t.Fatal("audited run carried no report")
+				}
+			}
+		})
+	}
+}

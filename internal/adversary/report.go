@@ -33,6 +33,11 @@ type Eval struct {
 	Measure  dram.Cycle `json:"measure"`
 	NormPerf float64    `json:"norm_perf"`
 	Slowdown float64    `json:"slowdown"`
+	// Escapes and MaxCount carry the shadow oracle's verdict when the
+	// search ran under ObjectiveEscapes (zero otherwise: perf-objective
+	// evaluations are unaudited).
+	Escapes  uint64 `json:"escapes,omitempty"`
+	MaxCount uint32 `json:"max_count,omitempty"`
 }
 
 // Report is the resilience report for one tracker: the worst-found
@@ -48,6 +53,8 @@ type Report struct {
 	Profile     string `json:"profile"`
 	Seed        uint64 `json:"seed"`
 	Budget      int    `json:"budget"`
+	// Objective is what the search maximized ("perf" or "escapes").
+	Objective string `json:"objective,omitempty"`
 	// Evals counts candidate evaluations charged against the budget;
 	// BaselineRuns the insecure-reference submissions outside it (the
 	// pool deduplicates repeats, so most are free).
@@ -58,9 +65,12 @@ type Report struct {
 	// full horizon; Best the worst-found attack. Best.Slowdown >=
 	// Reference.Slowdown always holds: the reference is itself a
 	// candidate of the final rung.
-	Reference Eval    `json:"reference"`
-	Best      Eval    `json:"best"`
-	Gain      float64 `json:"gain"` // Best.Slowdown / Reference.Slowdown
+	Reference Eval `json:"reference"`
+	Best      Eval `json:"best"`
+	// Gain is Best.Slowdown / Reference.Slowdown under the perf
+	// objective; zero under the escapes objective, where Best is ranked
+	// by the oracle verdict and a slowdown ratio would mislead.
+	Gain float64 `json:"gain,omitempty"`
 
 	Trace []Eval `json:"trace,omitempty"`
 }
@@ -95,7 +105,8 @@ func (r *Report) WriteJSONL(w io.Writer) error {
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"tracker", "workload", "label", "rung", "measure", "norm_perf", "slowdown", "params",
+		"tracker", "workload", "label", "rung", "measure", "norm_perf", "slowdown",
+		"escapes", "max_count", "params",
 	}); err != nil {
 		return err
 	}
@@ -105,6 +116,8 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(e.Rung), strconv.FormatInt(e.Measure, 10),
 			strconv.FormatFloat(e.NormPerf, 'g', -1, 64),
 			strconv.FormatFloat(e.Slowdown, 'g', -1, 64),
+			strconv.FormatUint(e.Escapes, 10),
+			strconv.FormatUint(uint64(e.MaxCount), 10),
 			e.Canonical,
 		}
 	}
@@ -124,6 +137,14 @@ func (r *Report) WriteCSV(w io.Writer) error {
 
 // Summary returns the one-line human-readable verdict.
 func (r *Report) Summary() string {
+	if r.Objective == string(ObjectiveEscapes) {
+		verdict := fmt.Sprintf("0 escapes, max count %d", r.Best.MaxCount)
+		if r.Best.Escapes > 0 {
+			verdict = fmt.Sprintf("%d ESCAPES (%s)", r.Best.Escapes, r.Best.Label)
+		}
+		return fmt.Sprintf("%-12s escape search: %s [%d evals]",
+			r.TrackerName, verdict, r.Evals)
+	}
 	return fmt.Sprintf("%-12s worst-found %s (%s) vs hand-crafted %s (%s): %+.1f%% [%d evals]",
 		r.TrackerName, fmtSlowdown(r.Best.Slowdown), r.Best.Label,
 		fmtSlowdown(r.Reference.Slowdown), r.Reference.Label,

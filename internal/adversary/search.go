@@ -14,6 +14,33 @@ import (
 	"dapper/internal/workloads"
 )
 
+// Objective selects what the search maximizes.
+type Objective string
+
+const (
+	// ObjectivePerf hunts worst-case benign-core slowdown (the default:
+	// the paper's Perf-Attack axis).
+	ObjectivePerf Objective = "perf"
+	// ObjectiveEscapes hunts security-guarantee violations: every
+	// candidate runs with the shadow oracle (internal/secaudit) attached
+	// and candidates are ranked by escapes, then by the maximum hammer
+	// count reached, with slowdown as the final tie-break. Against a
+	// sound tracker the search should end with Best.Escapes == 0 — the
+	// black-box complement of the conformance matrix.
+	ObjectiveEscapes Objective = "escapes"
+)
+
+// ParseObjective parses a flag value ("" = perf).
+func ParseObjective(s string) (Objective, error) {
+	switch Objective(s) {
+	case "", ObjectivePerf:
+		return ObjectivePerf, nil
+	case ObjectiveEscapes:
+		return ObjectiveEscapes, nil
+	}
+	return "", fmt.Errorf("adversary: unknown objective %q (perf|escapes)", s)
+}
+
 // Options scopes one search.
 type Options struct {
 	// TrackerID is the tracker under attack (exp.KnownTrackers id).
@@ -21,6 +48,8 @@ type Options struct {
 	Workload  workloads.Workload
 	NRH       uint32 // 0 = Profile.NRH
 	Mode      rh.MitigationMode
+	// Objective is what the search maximizes (ObjectivePerf if empty).
+	Objective Objective
 	// Profile supplies geometry, windows, workload seed and engine; the
 	// full horizon is Profile.Measure.
 	Profile exp.Profile
@@ -52,6 +81,9 @@ func (o Options) withDefaults() Options {
 	if o.NRH == 0 {
 		o.NRH = o.Profile.NRH
 	}
+	if o.Objective == "" {
+		o.Objective = ObjectivePerf
+	}
 	return o
 }
 
@@ -65,6 +97,23 @@ type candidate struct {
 	Candidate
 	slowdown float64
 	normPerf float64
+	escapes  uint64
+	maxCount uint32
+}
+
+// better reports whether a strictly outranks b under the objective
+// (no tie-break: used by hill-climbing, which only moves on
+// improvement).
+func (o Objective) better(a, b *candidate) bool {
+	if o == ObjectiveEscapes {
+		if a.escapes != b.escapes {
+			return a.escapes > b.escapes
+		}
+		if a.maxCount != b.maxCount {
+			return a.maxCount > b.maxCount
+		}
+	}
+	return a.slowdown > b.slowdown
 }
 
 // evaluator fans candidate evaluations out through the pool and keeps
@@ -93,8 +142,15 @@ func (ev *evaluator) evalBatch(cands []*candidate, kinds []attack.Kind, measure 
 		if kinds != nil && kinds[i] != attack.Parametric {
 			pt = exp.AttackPoint{Kind: kinds[i]}
 		}
-		job, err := exp.AdversaryJob(p, ev.opts.TrackerID, ev.opts.Workload,
-			ev.opts.NRH, ev.opts.Mode, pt, measure)
+		var job harness.Job
+		var err error
+		if ev.opts.Objective == ObjectiveEscapes {
+			job, err = exp.SecurityJob(p, ev.opts.TrackerID, ev.opts.Workload,
+				ev.opts.NRH, ev.opts.Mode, pt, measure, false)
+		} else {
+			job, err = exp.AdversaryJob(p, ev.opts.TrackerID, ev.opts.Workload,
+				ev.opts.NRH, ev.opts.Mode, pt, measure)
+		}
 		if err != nil {
 			return err
 		}
@@ -119,22 +175,30 @@ func (ev *evaluator) evalBatch(cands []*candidate, kinds []attack.Kind, measure 
 			sd = 1 / np
 		}
 		cands[i].normPerf, cands[i].slowdown = np, sd
+		if aud := res.Audit; aud != nil {
+			cands[i].escapes, cands[i].maxCount = aud.Escapes, aud.MaxCount
+		}
 		ev.evals++
 		ev.trace = append(ev.trace, Eval{
 			Candidate: cands[i].Candidate,
 			Rung:      rung, Measure: measure,
 			NormPerf: np, Slowdown: sd,
+			Escapes: cands[i].escapes, MaxCount: cands[i].maxCount,
 		})
 	}
 	return nil
 }
 
-// sortCands orders by slowdown descending, breaking float ties on the
-// canonical encoding so selection never depends on submission order.
-func sortCands(cands []*candidate) {
+// sortCands orders by the objective's score descending, breaking exact
+// ties on the canonical encoding so selection never depends on
+// submission order.
+func sortCands(obj Objective, cands []*candidate) {
 	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].slowdown != cands[j].slowdown {
-			return cands[i].slowdown > cands[j].slowdown
+		if obj.better(cands[i], cands[j]) {
+			return true
+		}
+		if obj.better(cands[j], cands[i]) {
+			return false
 		}
 		return cands[i].Canonical < cands[j].Canonical
 	})
@@ -172,6 +236,21 @@ func Search(opts Options, pool *harness.Pool) (*Report, error) {
 			Label: "kind:" + k.String(), Params: p, Canonical: p.Canonical(),
 		}})
 	}
+	if opts.Objective == ObjectiveEscapes {
+		// The escape hunt additionally seeds the conformance matrix's
+		// tailored attack points (the focused hammer): the hand-written
+		// kinds all fan out over every bank, which dilutes per-row
+		// activation rates far below what an escape needs.
+		for _, sa := range exp.AuditAttacks() {
+			if sa.Point.Kind != attack.Parametric {
+				continue
+			}
+			p := sa.Point.Params
+			cands = append(cands, &candidate{Candidate: Candidate{
+				Label: "audit:" + sa.Name, Params: p, Canonical: p.Canonical(),
+			}})
+		}
+	}
 	climbBudget := opts.Budget / 4
 	screenWeight := 2 - math.Pow(2, float64(1-opts.Rungs))
 	n0 := int(float64(opts.Budget-climbBudget) / screenWeight)
@@ -204,7 +283,7 @@ func Search(opts Options, pool *harness.Pool) (*Report, error) {
 		if err := ev.evalBatch(cands, nil, measure, rung); err != nil {
 			return nil, err
 		}
-		sortCands(cands)
+		sortCands(opts.Objective, cands)
 		if rung < opts.Rungs-1 {
 			keep := len(cands) / 2
 			if keep < opts.Survivors {
@@ -250,7 +329,7 @@ func Search(opts Options, pool *harness.Pool) (*Report, error) {
 					if err := ev.evalBatch([]*candidate{nc}, nil, full, opts.Rungs-1); err != nil {
 						return nil, err
 					}
-					if nc.slowdown > cur.slowdown {
+					if opts.Objective.better(nc, cur) {
 						cur = nc
 						improved = true
 					}
@@ -271,20 +350,27 @@ func Search(opts Options, pool *harness.Pool) (*Report, error) {
 		if e.Measure != full {
 			continue
 		}
-		if e.Slowdown > best.Slowdown ||
-			(e.Slowdown == best.Slowdown && e.Canonical < best.Canonical) {
+		a := &candidate{Candidate: e.Candidate, slowdown: e.Slowdown, escapes: e.Escapes, maxCount: e.MaxCount}
+		b := &candidate{Candidate: best.Candidate, slowdown: best.Slowdown, escapes: best.Escapes, maxCount: best.MaxCount}
+		if opts.Objective.better(a, b) ||
+			(!opts.Objective.better(b, a) && e.Canonical < best.Canonical) {
 			best = e
 		}
 	}
+	// Gain is a slowdown ratio, meaningful only when slowdown is what
+	// the search ranked by; an escapes-objective Best may legitimately
+	// slow benign cores less than the reference, so the ratio would
+	// read as a regression there.
 	gain := 0.0
-	if refEval.Slowdown > 0 {
+	if opts.Objective == ObjectivePerf && refEval.Slowdown > 0 {
 		gain = best.Slowdown / refEval.Slowdown
 	}
 	return &Report{
 		Tracker: opts.TrackerID, TrackerName: name,
 		Workload: opts.Workload.Name, NRH: opts.NRH,
 		Profile: opts.Profile.Name, Seed: opts.Seed, Budget: opts.Budget,
-		Evals: ev.evals, BaselineRuns: ev.bases,
+		Objective: string(opts.Objective),
+		Evals:     ev.evals, BaselineRuns: ev.bases,
 		Reference: refEval, Best: best, Gain: gain,
 		Trace: ev.trace,
 	}, nil

@@ -1,0 +1,58 @@
+package dram
+
+import "testing"
+
+// FuzzDecompose fuzzes the physical address mapping over arbitrary
+// geometries and addresses: Decompose/Compose must be exact inverses on
+// line-aligned in-capacity addresses, every decomposed field must be in
+// bounds, and the rank-row index space (the domain DAPPER's cipher
+// permutes) must round-trip too. Every attack generator, tracker and
+// the secaudit oracle lean on these bijections.
+func FuzzDecompose(f *testing.F) {
+	f.Add(uint64(0), uint8(2), uint8(2), uint8(8), uint8(4), uint32(64*1024), uint16(128))
+	f.Add(uint64(0x12345678), uint8(1), uint8(1), uint8(1), uint8(1), uint32(1), uint16(1))
+	f.Add(uint64(1<<40), uint8(2), uint8(4), uint8(8), uint8(4), uint32(2048), uint16(128))
+	f.Add(uint64(64), uint8(3), uint8(2), uint8(5), uint8(3), uint32(777), uint16(9))
+	f.Fuzz(func(t *testing.T, addr uint64, chans, ranks, bgs, banks uint8, rowsPB uint32, rowLines uint16) {
+		g := Geometry{
+			Channels:      1 + int(chans%8),
+			Ranks:         1 + int(ranks%8),
+			BankGroups:    1 + int(bgs%16),
+			BanksPerGroup: 1 + int(banks%8),
+			RowsPerBank:   1 + rowsPB%(1<<20),
+			RowBytes:      64 * (1 + int(rowLines%256)),
+			LineBytes:     64,
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("constructed geometry invalid: %v", err)
+		}
+		addr %= g.TotalBytes()
+		addr -= addr % uint64(g.LineBytes)
+
+		l := g.Decompose(addr)
+		if l.Channel < 0 || l.Channel >= g.Channels ||
+			l.Rank < 0 || l.Rank >= g.Ranks ||
+			l.BankGroup < 0 || l.BankGroup >= g.BankGroups ||
+			l.Bank < 0 || l.Bank >= g.BanksPerGroup ||
+			l.Row >= g.RowsPerBank ||
+			l.Col < 0 || l.Col >= g.BlocksPerRow() {
+			t.Fatalf("decomposed field out of bounds: %+v for %s", l, g)
+		}
+		if got := g.Compose(l); got != addr {
+			t.Fatalf("compose(decompose(%#x)) = %#x via %+v", addr, got, l)
+		}
+		if l2 := g.Decompose(g.Compose(l)); l2 != l {
+			t.Fatalf("loc does not round-trip: %+v vs %+v", l, l2)
+		}
+
+		idx := g.RankRowIndex(l)
+		if idx >= g.RowsPerRank() {
+			t.Fatalf("rank-row index %d outside %d", idx, g.RowsPerRank())
+		}
+		back := g.FromRankRowIndex(l.Channel, l.Rank, idx)
+		if back.Channel != l.Channel || back.Rank != l.Rank ||
+			back.BankGroup != l.BankGroup || back.Bank != l.Bank || back.Row != l.Row {
+			t.Fatalf("rank-row index does not round-trip: %+v vs %+v", l, back)
+		}
+	})
+}

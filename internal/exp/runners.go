@@ -7,6 +7,7 @@ import (
 	"dapper/internal/cpu"
 	"dapper/internal/dram"
 	"dapper/internal/harness"
+	"dapper/internal/secaudit"
 	"dapper/internal/sim"
 	"dapper/internal/workloads"
 )
@@ -36,6 +37,26 @@ type runSpec struct {
 	measure            dram.Cycle
 	seed               uint64
 	engine             sim.Engine // loop strategy (event if empty)
+	// audit attaches the shadow security oracle (internal/secaudit) to
+	// the run and embeds its report in the Result; auditInjected
+	// additionally charges tracker counter traffic against the ledger.
+	audit         bool
+	auditInjected bool
+}
+
+// auditTag versions the oracle for cache keys: bump it whenever the
+// ledger semantics change so stale audited results never get replayed.
+const auditTag = "v1"
+
+// auditDescTag returns the descriptor's Audit field for a spec.
+func (s runSpec) auditDescTag() string {
+	if !s.audit {
+		return ""
+	}
+	if s.auditInjected {
+		return auditTag + "+inj"
+	}
+	return auditTag
 }
 
 // descriptor returns the spec's deterministic identity for the harness
@@ -66,6 +87,7 @@ func (s runSpec) descriptor() harness.Descriptor {
 		Measure:      s.measure,
 		Seed:         s.seed,
 		Engine:       string(s.engine.OrDefault()),
+		Audit:        s.auditDescTag(),
 	}
 }
 
@@ -97,7 +119,25 @@ func run(s runSpec) (sim.Result, error) {
 	if s.tracker.Factory != nil {
 		cfg.Tracker = s.tracker.Factory
 	}
-	return sim.Run(cfg)
+	if !s.audit {
+		return sim.Run(cfg)
+	}
+	audit, err := secaudit.New(secaudit.Config{
+		Geometry:      s.geo,
+		NRH:           s.nrh,
+		Mode:          s.tracker.Mode,
+		CountInjected: s.auditInjected,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg.Observer = audit.Observer
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.Audit = audit.Report()
+	return res, nil
 }
 
 // runner caches insecure baselines so every tracker in a figure

@@ -49,6 +49,12 @@ type Descriptor struct {
 	// cache entries).
 	Engine string `json:"engine,omitempty"`
 
+	// Audit tags runs carrying the shadow security oracle ("" = not
+	// audited). Audited Results embed the oracle's report, so they must
+	// never alias an unaudited cache entry (and vice versa); the tag also
+	// versions the oracle so its evolution invalidates stale reports.
+	Audit string `json:"audit,omitempty"`
+
 	// Extra disambiguates runs varied by a knob not listed above.
 	Extra string `json:"extra,omitempty"`
 }
@@ -60,11 +66,11 @@ func (d Descriptor) Key() string {
 	g := d.Geometry
 	fmt.Fprintf(h,
 		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|aparams=%s|benign4=%t|"+
-			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|extra=%s",
+			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|audit=%s|extra=%s",
 		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.AttackParams, d.Benign4,
 		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.RowsPerBank,
 		g.RowBytes, g.LineBytes,
-		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Extra)
+		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Audit, d.Extra)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dapper/internal/dram"
+	"dapper/internal/secaudit"
+	"dapper/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the
+// fixture under -update. Byte-exact: sink output is a stable external
+// format consumed by analysis pipelines, so any drift must be a
+// deliberate, reviewed change.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden fixture (rerun with -update if intended)\n got:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// goldenRecords is a fixed two-record stream: a plain run and an
+// audited cache hit, covering every serialized field including the
+// embedded oracle report.
+func goldenRecords() []Record {
+	d1 := Descriptor{
+		Tracker: "Hydra", Mode: "VRR-BR1", NRH: 500,
+		Workload: "429.mcf", Attack: "hydra-conflict",
+		Geometry: dram.Baseline(), Timing: "ddr5",
+		Warmup: dram.US(5), Measure: dram.US(30), Seed: 1,
+		Engine: "event",
+	}
+	d2 := Descriptor{
+		Tracker: "none", Mode: "VRR-BR1", NRH: 125,
+		Workload: "ycsb_a", Attack: "parametric",
+		AttackParams: "s(r0.g0.gs0.rs0.rb0.rh0.b8.rk0.hf1.hr2.hb7.hs996.bu0.cf0.sb0)|w(r0.g0.gs0.rs0.rb0.rh0.b0.rk0.hf0.hr0.hb0.hs0.bu0.cf0.sb0)|wa0|p0",
+		Geometry:     dram.Baseline(), Timing: "ddr5",
+		Warmup: dram.US(5), Measure: dram.US(30), Seed: 1,
+		Engine: "event", Audit: "v1",
+	}
+	r1 := sim.Result{
+		IPC:          []float64{1.25, 1.5, 0.75, 2},
+		Instructions: []uint64{150000, 180000, 90000, 240000},
+		Cycles:       dram.US(30),
+		LLCHitRate:   0.875,
+		TrackerNames: []string{"Hydra", "Hydra"},
+	}
+	r1.Counters.ACT = 4200
+	r1.Counters.RD = 9000
+	r1.Counters.WR = 1000
+	r1.Counters.REF = 32
+	r1.Counters.VRR = 17
+	r1.Tracker.Activations = 4200
+	r1.Tracker.Mitigations = 17
+	r1.Tracker.VictimRefreshes = 17
+	r1.Mem.ReadsServed = 9000
+	r1.Mem.WritesServed = 1000
+	r2 := sim.Result{
+		IPC:          []float64{1, 1, 1, 0.5},
+		Instructions: []uint64{120000, 120000, 120000, 60000},
+		Cycles:       dram.US(30),
+		TrackerNames: []string{"none", "none"},
+		Audit: &secaudit.Report{
+			NRH: 125, Mode: "VRR-BR1",
+			ACTs: 8372, Refreshes: 32,
+			Escapes: 2, EscapedRows: 2, MaxCount: 332, Margin: -1.656,
+			Worst: []secaudit.Escape{
+				{Channel: 0, Rank: 0, BankGroup: 0, Bank: 0, Row: 6, At: 54321, Count: 125},
+				{Channel: 1, Rank: 0, BankGroup: 0, Bank: 0, Row: 8, At: 54833, Count: 125},
+			},
+		},
+	}
+	return []Record{
+		{Key: d1.Key(), Desc: d1, Cached: false, Elapsed: 1234 * time.Millisecond, Result: r1},
+		{Key: d2.Key(), Desc: d2, Cached: true, Elapsed: 0, Result: r2},
+	}
+}
+
+// TestSinkGoldenJSONL pins the JSONL sink's byte-exact output,
+// including descriptor keys (so accidental cache-key changes surface
+// here, loudly) and the embedded audit report.
+func TestSinkGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, r := range goldenRecords() {
+		if err := s.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sink.jsonl.golden", buf.Bytes())
+}
+
+// TestSinkGoldenCSV pins the CSV sink's byte-exact output.
+func TestSinkGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	for _, r := range goldenRecords() {
+		if err := s.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sink.csv.golden", buf.Bytes())
+}

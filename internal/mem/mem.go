@@ -46,6 +46,7 @@ type Controller struct {
 	tracker rh.Tracker
 	throt   rh.Throttler // non-nil if tracker throttles
 	mode    rh.MitigationMode
+	obs     rh.Observer // optional security-event tap (nil = none)
 
 	banks []dram.Bank
 	ranks []dram.Rank
@@ -101,6 +102,12 @@ func NewController(channel int, geo dram.Geometry, tim dram.Timing, tracker rh.T
 	}
 	return c
 }
+
+// SetObserver attaches a passive security-event observer (nil detaches).
+// Observers see every ACT, mitigation command, auto-refresh and bulk
+// sweep this controller issues; they cannot influence scheduling. Attach
+// before the first Tick so the observed stream is complete.
+func (c *Controller) SetObserver(o rh.Observer) { c.obs = o }
 
 // Counters returns the DRAM event counters.
 func (c *Controller) Counters() dram.Counters { return c.counters }
@@ -196,6 +203,9 @@ func (c *Controller) refreshTick(now dram.Cycle) {
 			rk.NextRefAt += c.tim.TREFI
 			c.counters.REF++
 			c.stats.Refreshes++
+			if c.obs != nil {
+				c.obs.ObserveRefresh(at, r)
+			}
 			c.resetConsider(now) // attempt again this very tick
 		}
 	}
@@ -427,6 +437,9 @@ func (c *Controller) service(r *Request, now dram.Cycle) {
 
 	if activated {
 		c.counters.ACT++
+		if c.obs != nil {
+			c.obs.ObserveACT(bank.LastActAt, r.Loc, r.Injected)
+		}
 		if !r.Injected {
 			c.actBuf = c.tracker.OnActivate(bank.LastActAt, r.Loc, c.actBuf[:0])
 			c.applyActions(bank.LastActAt, c.actBuf)
@@ -447,12 +460,15 @@ func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action) {
 			}
 			c.blockBank(a.Loc, dur, now)
 			c.counters.VRR++
+			c.observeMitigation(now, a)
 		case rh.RefreshVictimsRFMsb:
 			c.blockSameBank(a.Loc, c.tim.TRFMsb, now)
 			c.counters.RFMsb++
+			c.observeMitigation(now, a)
 		case rh.RefreshVictimsDRFMsb:
 			c.blockSameBank(a.Loc, c.tim.TDRFMsb, now)
 			c.counters.DRFMsb++
+			c.observeMitigation(now, a)
 		case rh.BulkRefreshRank:
 			c.bulkRefreshRank(now, a.Loc.Rank)
 		case rh.BulkRefreshChannel:
@@ -472,6 +488,12 @@ func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action) {
 			// would with a zeroed backoff.
 			c.resetConsider(now)
 		}
+	}
+}
+
+func (c *Controller) observeMitigation(now dram.Cycle, a *rh.Action) {
+	if c.obs != nil {
+		c.obs.ObserveMitigation(now, a.Kind, a.Loc, a.Row)
 	}
 }
 
@@ -511,6 +533,9 @@ func (c *Controller) bulkRefreshRank(now dram.Cycle, rankID int) {
 	}
 	c.counters.BulkEvents++
 	c.counters.BulkRows += uint64(c.geo.BanksPerRank()) * uint64(c.geo.RowsPerBank)
+	if c.obs != nil {
+		c.obs.ObserveBulkRefresh(now, rankID)
+	}
 	c.resetConsider(now)
 }
 

@@ -1,0 +1,38 @@
+package rh
+
+import "dapper/internal/dram"
+
+// Observer is a passive tap on the memory controller's security-relevant
+// event stream: every activation, every mitigation command, every
+// auto-refresh, and every bulk structure-reset sweep. Observers never
+// influence scheduling or tracker behavior — they exist so an external
+// oracle (internal/secaudit) can shadow the simulated system and check
+// the property trackers are supposed to provide, independently of the
+// trackers' own bookkeeping.
+//
+// Event times are the command's issue cycle (an activation delayed by a
+// precharge reports the actual ACT cycle, not the scheduling cycle), so
+// the stream is identical whether the controller is driven every cycle
+// or only at event-engine wake points. One Observer instance watches one
+// channel; implementations need no locking (controllers are
+// single-threaded).
+type Observer interface {
+	// ObserveACT fires once per row activation. injected marks
+	// tracker-generated counter traffic (which trackers themselves never
+	// see via OnActivate).
+	ObserveACT(now dram.Cycle, loc dram.Loc, injected bool)
+	// ObserveMitigation fires once per victim-refresh command a tracker
+	// issued: kind is RefreshVictims, RefreshVictimsRFMsb or
+	// RefreshVictimsDRFMsb; loc names the targeted bank and row the
+	// aggressor whose victims the command refreshes.
+	ObserveMitigation(now dram.Cycle, kind ActionKind, loc dram.Loc, row uint32)
+	// ObserveRefresh fires once per per-rank auto-refresh (REF) command.
+	// Successive calls for one rank advance the rank's refresh slot, from
+	// which per-row refresh boundaries follow (tREFW/tREFI slots cycle
+	// over the row space).
+	ObserveRefresh(now dram.Cycle, rank int)
+	// ObserveBulkRefresh fires once per rank-wide structure-reset sweep
+	// (CoMeT's rank reset, ABACUS's channel reset — the latter arrives as
+	// one call per rank).
+	ObserveBulkRefresh(now dram.Cycle, rank int)
+}

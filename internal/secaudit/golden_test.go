@@ -1,0 +1,80 @@
+package secaudit
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden fixture (rerun with -update if intended)\n got:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// goldenRows is a fixed three-row matrix: an escaping baseline, a
+// secure tracker, and a throttling tracker — covering every column
+// including the negative-margin float rendering.
+func goldenRows() []MatrixRow {
+	return []MatrixRow{
+		{
+			Tracker: "none", TrackerName: "none", Mode: "VRR-BR1", NRH: 125,
+			Attack: "hammer", Workload: "429.mcf", Profile: "tiny",
+			Secure: false, Escapes: 32, EscapedRows: 32, MaxCount: 332,
+			Margin: -1.656, ACTs: 8372, Refreshes: 32,
+		},
+		{
+			Tracker: "dapper-h", TrackerName: "DAPPER-H", Mode: "RFMsb", NRH: 125,
+			Attack: "refresh", Workload: "429.mcf", Profile: "tiny",
+			Secure: true, Escapes: 0, EscapedRows: 0, MaxCount: 63,
+			Margin: 0.496, ACTs: 19090, InjectedACTs: 0, Mitigations: 6,
+			Refreshes: 32,
+		},
+		{
+			Tracker: "blockhammer", TrackerName: "BlockHammer", Mode: "VRR-BR1", NRH: 125,
+			Attack: "streaming", Workload: "429.mcf", Profile: "tiny",
+			Secure: true, MaxCount: 50, Margin: 0.6, ACTs: 21202,
+			Refreshes: 32, Throttled: 149,
+		},
+	}
+}
+
+// TestMatrixGoldenJSONL pins the conformance matrix's JSONL rendering
+// byte-exactly — the artifact CI uploads and the equivalence the
+// audit-smoke target compares across engines.
+func TestMatrixGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrixJSONL(&buf, goldenRows()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "matrix.jsonl.golden", buf.Bytes())
+}
+
+// TestMatrixGoldenCSV pins the CSV rendering byte-exactly.
+func TestMatrixGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, goldenRows()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "matrix.csv.golden", buf.Bytes())
+}

@@ -1,0 +1,87 @@
+package secaudit
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// MatrixRow is one cell of the tracker x attack x mode x NRH
+// conformance matrix: the cell identity plus the oracle verdict and the
+// headline activity counters. Rows deliberately carry no engine tag, no
+// cache key and no wall-clock, so a matrix is byte-identical across
+// reruns and across the event/cycle engines.
+type MatrixRow struct {
+	Tracker     string `json:"tracker"`      // batch id ("hydra")
+	TrackerName string `json:"tracker_name"` // display name ("Hydra")
+	Mode        string `json:"mode"`
+	NRH         uint32 `json:"nrh"`
+	Attack      string `json:"attack"`
+	Workload    string `json:"workload"`
+	Profile     string `json:"profile"`
+
+	Secure      bool    `json:"secure"`
+	Escapes     uint64  `json:"escapes"`
+	EscapedRows int     `json:"escaped_rows"`
+	MaxCount    uint32  `json:"max_count"`
+	Margin      float64 `json:"margin"`
+
+	ACTs         uint64 `json:"acts"`
+	InjectedACTs uint64 `json:"injected_acts"`
+	Mitigations  uint64 `json:"mitigations"`
+	Refreshes    uint64 `json:"refreshes"`
+	BulkResets   uint64 `json:"bulk_resets"`
+	Throttled    uint64 `json:"throttled"`
+}
+
+// matrixHeader is the fixed CSV column set, mirroring MatrixRow's JSON
+// field order.
+var matrixHeader = []string{
+	"tracker", "tracker_name", "mode", "nrh", "attack", "workload", "profile",
+	"secure", "escapes", "escaped_rows", "max_count", "margin",
+	"acts", "injected_acts", "mitigations", "refreshes", "bulk_resets", "throttled",
+}
+
+// WriteMatrixJSONL streams rows as one JSON object per line, in the
+// given order (the caller's deterministic sweep order).
+func WriteMatrixJSONL(w io.Writer, rows []MatrixRow) error {
+	enc := json.NewEncoder(w)
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMatrixCSV writes the matrix as a flat header+rows table.
+func WriteMatrixCSV(w io.Writer, rows []MatrixRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(matrixHeader); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		rec := []string{
+			r.Tracker, r.TrackerName, r.Mode,
+			strconv.FormatUint(uint64(r.NRH), 10), r.Attack, r.Workload, r.Profile,
+			strconv.FormatBool(r.Secure),
+			strconv.FormatUint(r.Escapes, 10),
+			strconv.Itoa(r.EscapedRows),
+			strconv.FormatUint(uint64(r.MaxCount), 10),
+			strconv.FormatFloat(r.Margin, 'g', -1, 64),
+			strconv.FormatUint(r.ACTs, 10),
+			strconv.FormatUint(r.InjectedACTs, 10),
+			strconv.FormatUint(r.Mitigations, 10),
+			strconv.FormatUint(r.Refreshes, 10),
+			strconv.FormatUint(r.BulkResets, 10),
+			strconv.FormatUint(r.Throttled, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -13,6 +13,7 @@ import (
 	"dapper/internal/dram"
 	"dapper/internal/mem"
 	"dapper/internal/rh"
+	"dapper/internal/secaudit"
 )
 
 // TrackerFactory builds one tracker per channel (trackers are
@@ -21,6 +22,11 @@ type TrackerFactory func(channel int) rh.Tracker
 
 // NopFactory is the insecure baseline.
 func NopFactory(channel int) rh.Tracker { return rh.NewNop() }
+
+// ObserverFactory builds one passive security-event observer per
+// channel (internal/secaudit's shadow oracle is the main implementer).
+// Returning nil for a channel leaves that channel unobserved.
+type ObserverFactory func(channel int) rh.Observer
 
 // Engine selects the simulation loop strategy. Both engines produce
 // byte-identical Results (the equivalence test matrix enforces this);
@@ -79,6 +85,11 @@ type Config struct {
 	Measure dram.Cycle
 	// Engine selects the loop strategy (EngineEvent if empty).
 	Engine Engine
+	// Observer, if non-nil, taps every controller's security-relevant
+	// event stream (ACTs, mitigations, refreshes, bulk sweeps). Purely
+	// passive: attaching an observer never changes the Result's other
+	// fields, and the observed stream is identical under both engines.
+	Observer ObserverFactory
 }
 
 // withDefaults fills zero fields with Table I values.
@@ -122,6 +133,10 @@ type Result struct {
 	Mem          mem.Stats     // summed over channels
 	LLCHitRate   float64
 	TrackerNames []string
+	// Audit carries the shadow security oracle's verdict when the run
+	// was audited (exp attaches it after Run; nil otherwise). It rides
+	// in the Result so harness caching and sinks see one record per run.
+	Audit *secaudit.Report `json:"Audit,omitempty"`
 }
 
 // Run executes the simulation.
@@ -159,6 +174,9 @@ func Run(cfg Config) (Result, error) {
 	controllers := make([]*mem.Controller, cfg.Geometry.Channels)
 	for ch := range controllers {
 		controllers[ch] = mem.NewController(ch, cfg.Geometry, timing, trackers[ch], cfg.Mode)
+		if cfg.Observer != nil {
+			controllers[ch].SetObserver(cfg.Observer(ch))
+		}
 	}
 
 	llc, err := cache.NewBySize(llcBytes, cfg.LLCWays, cfg.Geometry.LineBytes)
