@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-engine-equivalence fuzz-smoke audit-smoke bench-smoke bench-compare adversary-smoke bench-adversary ci
+.PHONY: all build vet test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke bench-mix bench-smoke bench-compare adversary-smoke bench-adversary ci
 
 all: build vet test
 
@@ -44,6 +44,23 @@ fuzz-smoke:
 audit-smoke:
 	$(GO) run ./cmd/dapper-audit -profile tiny -tracker all -attack hammer,refresh,streaming -mode vrr-br1,rfmsb -nrh 125 -seed 1 -check -out audit-smoke
 
+# Heterogeneous mix smoke: two seeded 4-core mixes with two focused
+# hammers each, swept over every registered tracker at NRH 125 with the
+# shadow oracle attached (tiny profile, seconds, deterministic).
+# -check enforces both gates: metrics finite and in bounds, the
+# insecure baseline escapes under the 2-attacker mixes, every real
+# tracker holds at zero. The report in mix-smoke/ is byte-identical
+# across reruns and across -engine event/cycle; CI uploads it as an
+# artifact.
+mix-smoke:
+	$(GO) run ./cmd/dapper-mix -profile tiny -mixes 2 -cores 4 -attackers 2 -attack hammer -tracker all -nrh 125 -seed 1 -audit -check -out mix-smoke
+
+# Benchmark mix-sweep throughput (cells per second) and record it in
+# BENCH_mix.json (BenchmarkMix in bench_test.go is the in-process
+# equivalent, covered by bench-smoke).
+bench-mix:
+	$(GO) run ./cmd/dapper-mix -profile tiny -mixes 4 -attackers 1 -tracker none,dapper-h -nrh 500 -seed 1 -out mix-bench -bench BENCH_mix.json
+
 # One iteration of every benchmark: a smoke reproduction of each table
 # and figure under the reduced bench profile.
 bench-smoke:
@@ -65,4 +82,4 @@ adversary-smoke:
 bench-adversary:
 	$(GO) run ./cmd/dapper-adversary -tracker dapper-h -profile tiny -budget 16 -seed 1 -out adversary-bench -bench BENCH_adversary.json
 
-ci: build vet test test-race test-engine-equivalence audit-smoke fuzz-smoke bench-smoke bench-compare adversary-smoke bench-adversary
+ci: build vet test test-race test-engine-equivalence audit-smoke mix-smoke fuzz-smoke bench-smoke bench-compare adversary-smoke bench-adversary bench-mix

@@ -9,6 +9,7 @@
 //	dapper-adversary -tracker hydra -budget 32 -seed 1
 //	dapper-adversary -tracker hydra,comet,abacus -profile quick -out reports/
 //	dapper-adversary -tracker all -profile tiny -budget 8 -jobs 4
+//	dapper-adversary -tracker dapper-h -mix-cores 3 -budget 16  # heterogeneous co-runners
 //
 // Reports are deterministic: the same -seed and -budget produce
 // byte-identical adversary-<tracker>.jsonl/.csv files (no wall-clock
@@ -30,6 +31,7 @@ import (
 	"dapper/internal/adversary"
 	"dapper/internal/exp"
 	"dapper/internal/harness"
+	"dapper/internal/mix"
 	"dapper/internal/rh"
 	"dapper/internal/sim"
 	"dapper/internal/workloads"
@@ -43,6 +45,8 @@ func fatal(err error) {
 func main() {
 	trackers := flag.String("tracker", "dapper-h", "comma list of tracker ids (see -list-trackers), or 'all'")
 	wname := flag.String("workload", "429.mcf", "benign workload co-running with the searched attacker")
+	mixCores := flag.Int("mix-cores", 0, "run against a heterogeneous benign background mix of this many cores instead of -workload copies (0 = off)")
+	mixIntensive := flag.Int("mix-intensive", -1, "benign mix slots from the >=2-RBMPKI group (-1 = seeded random split)")
 	nrh := flag.Uint("nrh", 0, "RowHammer threshold (0 = profile default)")
 	modeName := flag.String("mode", "VRR-BR1", "mitigation mode (VRR-BR1|VRR-BR2|RFMsb|DRFMsb)")
 	objectiveName := flag.String("objective", "perf", "search objective: perf (worst slowdown) or escapes (security-guarantee violations via the shadow oracle)")
@@ -94,6 +98,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var bg *mix.Spec
+	if *mixCores > 0 {
+		sp, err := mix.Generate(mix.GenConfig{
+			Cores: *mixCores, Intensive: *mixIntensive, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bg = &sp
+		fmt.Fprintf(os.Stderr, "background mix %s: %s\n", sp.ID(), sp.Label())
+	}
 	trackerIDs := strings.Split(*trackers, ",")
 	if *trackers == "all" {
 		trackerIDs = exp.KnownTrackers()
@@ -123,6 +138,7 @@ func main() {
 		rep, err := adversary.Search(adversary.Options{
 			TrackerID: strings.TrimSpace(id),
 			Workload:  w,
+			Mix:       bg,
 			NRH:       uint32(*nrh),
 			Mode:      mode,
 			Objective: objective,

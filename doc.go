@@ -166,6 +166,49 @@
 // the conformance matrix's focused-hammer point alongside the
 // hand-written kinds. See examples/secaudit for the in-process API.
 //
+// # Heterogeneous workload mixes (internal/mix, cmd/dapper-mix)
+//
+// The paper's scenario shapes are homogeneous: n copies of one
+// workload, at most one attacker pinned to the last core
+// (sim.BenignTraces/AttackScenario). internal/mix generalizes them to
+// the multi-programmed methodology the tracker literature evaluates
+// with: a mix.Spec assigns an arbitrary workload — or an attacker — to
+// every core. Benign slots are confined to equal, row-aligned, disjoint
+// slices of the physical address space; attacker slots (any
+// attack.Kind, or an explicit parametric point, k of them on arbitrary
+// cores) deliberately range over the whole row space. mix.Generate
+// samples mixes reproducibly from the 57-workload table, stratified by
+// the paper's >= 2-RBMPKI memory-intensity grouping, with seeded
+// attacker placement; every spec carries a canonical encoding and a
+// content-derived ID ("mx-<hex>").
+//
+// Mixes are scored the way multi-programmed studies are: each benign
+// slot gets a per-core isolated baseline — the same trace placement,
+// alone on the insecure machine, so the isolated and shared
+// instruction streams are identical and the ratio isolates contention
+// — and mix.Compute aggregates per-core speedups into weighted
+// speedup, harmonic speedup and fairness (min/max per-core slowdown).
+// exp.MixJob/MixBaselineJob/RunMixSweep fan tracker x mix x NRH sweeps
+// through the harness (baselines are tracker-independent descriptors,
+// deduplicated and shared across the sweep; harness.Descriptor carries
+// the full canonical mix encoding in its new Mix tag — note: adding
+// the tag re-hashed every cache key, so pre-mix disk caches are
+// invalid). cmd/dapper-mix renders a sweep as a deterministic
+// JSONL/CSV report, byte-identical across reruns and across -engine
+// event/cycle:
+//
+//	go run ./cmd/dapper-mix -profile tiny -mixes 2 -attackers 2 -attack hammer -nrh 125 -audit -check
+//
+// The adversary search composes with mixes: adversary.Options.Mix (or
+// dapper-adversary -mix-cores) swaps the homogeneous background for a
+// heterogeneous benign mix, grafting each candidate attacker onto it
+// as one extra core, so worst-case search runs against realistic
+// co-runners. The engine-equivalence matrix extends to mixes too
+// (exp.TestEngineEquivalenceMixes), and `make mix-smoke` gates CI on a
+// 2-attacker conformance sweep: the insecure baseline must escape,
+// every tracker must hold, and all metrics must stay in bounds. See
+// examples/mix for the in-process API.
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package dapper

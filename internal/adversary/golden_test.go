@@ -2,38 +2,12 @@ package adversary
 
 import (
 	"bytes"
-	"flag"
-	"os"
-	"path/filepath"
 	"testing"
 
 	"dapper/internal/attack"
 	"dapper/internal/dram"
+	"dapper/internal/goldentest"
 )
-
-var update = flag.Bool("update", false, "rewrite golden files")
-
-func checkGolden(t *testing.T, name string, got []byte) {
-	t.Helper()
-	path := filepath.Join("testdata", name)
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("%s drifted from golden fixture (rerun with -update if intended)\n got:\n%s\nwant:\n%s",
-			name, got, want)
-	}
-}
 
 // goldenReport is a fixed resilience report exercising every serialized
 // field: a reference eval, a climbing trace across rungs, an audited
@@ -55,7 +29,10 @@ func goldenReport() *Report {
 		Escapes: 32, MaxCount: 332,
 	}
 	return &Report{
-		Tracker: "hydra", TrackerName: "Hydra", Workload: "429.mcf",
+		Tracker: "hydra", TrackerName: "Hydra",
+		// Workload/Mix pin the mix-background rendering: the slot list in
+		// the workload column, the canonical mix ID in its own field.
+		Workload: "429.mcf+ycsb_a+!refresh", Mix: "mx-0102030405ab",
 		NRH: 500, Profile: "tiny", Seed: 1, Budget: 10,
 		Objective: "escapes",
 		Evals:     3, BaselineRuns: 2,
@@ -73,7 +50,7 @@ func TestReportGoldenJSONL(t *testing.T) {
 	if err := goldenReport().WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "report.jsonl.golden", buf.Bytes())
+	goldentest.Check(t, "report.jsonl.golden", buf.Bytes())
 }
 
 // TestReportGoldenCSV pins the flat CSV trace table byte-exactly.
@@ -82,5 +59,5 @@ func TestReportGoldenCSV(t *testing.T) {
 	if err := goldenReport().WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "report.csv.golden", buf.Bytes())
+	goldentest.Check(t, "report.csv.golden", buf.Bytes())
 }

@@ -9,6 +9,7 @@ import (
 	"dapper/internal/dram"
 	"dapper/internal/exp"
 	"dapper/internal/harness"
+	"dapper/internal/mix"
 	"dapper/internal/rh"
 	"dapper/internal/sim"
 	"dapper/internal/workloads"
@@ -48,6 +49,15 @@ type Options struct {
 	Workload  workloads.Workload
 	NRH       uint32 // 0 = Profile.NRH
 	Mode      rh.MitigationMode
+	// Mix, when non-nil, replaces the homogeneous three-copies-of-
+	// Workload background with a heterogeneous benign mix: every
+	// candidate is grafted onto it as one extra core
+	// (exp.AdversaryMixJob), so the search hunts worst cases against
+	// realistic co-runners. Slowdown is then measured over the mix's
+	// benign cores against the same-mix idle-companion baseline;
+	// Workload is ignored. The mix must be benign-only (idle "none"
+	// slots allowed): the searched candidate is the only attacker.
+	Mix *mix.Spec
 	// Objective is what the search maximizes (ObjectivePerf if empty).
 	Objective Objective
 	// Profile supplies geometry, windows, workload seed and engine; the
@@ -134,7 +144,18 @@ type evaluator struct {
 // eval counts independent of cache state.
 func (ev *evaluator) evalBatch(cands []*candidate, kinds []attack.Kind, measure dram.Cycle, rung int) error {
 	p := ev.opts.Profile
-	baseFut := ev.pool.Submit(exp.AdversaryBaselineJob(p, ev.opts.Workload, measure))
+	audited := ev.opts.Objective == ObjectiveEscapes
+	var baseJob harness.Job
+	var err error
+	if bg := ev.opts.Mix; bg != nil {
+		baseJob, err = exp.AdversaryMixBaselineJob(p, *bg, measure)
+	} else {
+		baseJob = exp.AdversaryBaselineJob(p, ev.opts.Workload, measure)
+	}
+	if err != nil {
+		return err
+	}
+	baseFut := ev.pool.Submit(baseJob)
 	ev.bases++
 	futs := make([]*harness.Future, len(cands))
 	for i, c := range cands {
@@ -144,10 +165,14 @@ func (ev *evaluator) evalBatch(cands []*candidate, kinds []attack.Kind, measure 
 		}
 		var job harness.Job
 		var err error
-		if ev.opts.Objective == ObjectiveEscapes {
+		switch {
+		case ev.opts.Mix != nil:
+			job, err = exp.AdversaryMixJob(p, ev.opts.TrackerID, *ev.opts.Mix,
+				ev.opts.NRH, ev.opts.Mode, pt, measure, audited)
+		case audited:
 			job, err = exp.SecurityJob(p, ev.opts.TrackerID, ev.opts.Workload,
 				ev.opts.NRH, ev.opts.Mode, pt, measure, false)
-		} else {
+		default:
 			job, err = exp.AdversaryJob(p, ev.opts.TrackerID, ev.opts.Workload,
 				ev.opts.NRH, ev.opts.Mode, pt, measure)
 		}
@@ -161,6 +186,9 @@ func (ev *evaluator) evalBatch(cands []*candidate, kinds []attack.Kind, measure 
 		return fmt.Errorf("adversary: baseline: %w", err)
 	}
 	benign := sim.BenignCores(4)
+	if ev.opts.Mix != nil {
+		benign = ev.opts.Mix.BenignCores()
+	}
 	for i, f := range futs {
 		res, err := f.Wait()
 		if err != nil {
@@ -213,6 +241,23 @@ func Search(opts Options, pool *harness.Pool) (*Report, error) {
 	name, err := exp.TrackerName(opts.TrackerID)
 	if err != nil {
 		return nil, err
+	}
+	wname, mixID := opts.Workload.Name, ""
+	if opts.Mix != nil {
+		if err := opts.Mix.Validate(); err != nil {
+			return nil, err
+		}
+		if len(opts.Mix.BenignCores()) == 0 {
+			return nil, fmt.Errorf("adversary: background mix %s has no benign cores", opts.Mix.ID())
+		}
+		// The candidate must be the only attacker: a background attacker
+		// would run its trace at opts.NRH in treatment runs but at the
+		// profile NRH in the baseline (AdversaryMixBaselineJob), letting
+		// NRH-sized background patterns corrupt the slowdown attribution.
+		if opts.Mix.Attackers() > 0 {
+			return nil, fmt.Errorf("adversary: background mix %s contains attacker slots; the searched candidate must be the only attacker", opts.Mix.ID())
+		}
+		wname, mixID = opts.Mix.Label(), opts.Mix.ID()
 	}
 	space := NewSpace(opts.Profile.Geometry)
 	rng := newRNG(opts.Seed)
@@ -367,7 +412,7 @@ func Search(opts Options, pool *harness.Pool) (*Report, error) {
 	}
 	return &Report{
 		Tracker: opts.TrackerID, TrackerName: name,
-		Workload: opts.Workload.Name, NRH: opts.NRH,
+		Workload: wname, Mix: mixID, NRH: opts.NRH,
 		Profile: opts.Profile.Name, Seed: opts.Seed, Budget: opts.Budget,
 		Objective: string(opts.Objective),
 		Evals:     ev.evals, BaselineRuns: ev.bases,

@@ -48,16 +48,20 @@ type runSpec struct {
 // ledger semantics change so stale audited results never get replayed.
 const auditTag = "v1"
 
-// auditDescTag returns the descriptor's Audit field for a spec.
-func (s runSpec) auditDescTag() string {
-	if !s.audit {
+// auditTagFor returns a descriptor's Audit field for an audit flag
+// pair (shared by the homogeneous runSpec and the mix run spec).
+func auditTagFor(audit, injected bool) string {
+	if !audit {
 		return ""
 	}
-	if s.auditInjected {
+	if injected {
 		return auditTag + "+inj"
 	}
 	return auditTag
 }
+
+// auditDescTag returns the descriptor's Audit field for a spec.
+func (s runSpec) auditDescTag() string { return auditTagFor(s.audit, s.auditInjected) }
 
 // descriptor returns the spec's deterministic identity for the harness
 // cache and deduplication. Factories are always built with the spec's

@@ -55,6 +55,14 @@ type Descriptor struct {
 	// versions the oracle so its evolution invalidates stale reports.
 	Audit string `json:"audit,omitempty"`
 
+	// Mix tags heterogeneous multi-programmed runs: the full canonical
+	// slot encoding (mix.Spec.Canonical()) for a mix run, or an
+	// "iso:<core>/<slots>" tag for a per-core isolated baseline — both
+	// must never alias the homogeneous shapes (3+companion / benign4)
+	// that leave this empty. Folding the complete encoding in keeps two
+	// mixes differing in a single slot from sharing a cache entry.
+	Mix string `json:"mix,omitempty"`
+
 	// Extra disambiguates runs varied by a knob not listed above.
 	Extra string `json:"extra,omitempty"`
 }
@@ -66,11 +74,11 @@ func (d Descriptor) Key() string {
 	g := d.Geometry
 	fmt.Fprintf(h,
 		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|aparams=%s|benign4=%t|"+
-			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|audit=%s|extra=%s",
+			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|audit=%s|mix=%s|extra=%s",
 		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.AttackParams, d.Benign4,
 		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.RowsPerBank,
 		g.RowBytes, g.LineBytes,
-		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Audit, d.Extra)
+		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Audit, d.Mix, d.Extra)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -2,48 +2,19 @@ package harness
 
 import (
 	"bytes"
-	"flag"
-	"os"
-	"path/filepath"
 	"testing"
 	"time"
 
 	"dapper/internal/dram"
+	"dapper/internal/goldentest"
 	"dapper/internal/secaudit"
 	"dapper/internal/sim"
 )
 
-var update = flag.Bool("update", false, "rewrite golden files")
-
-// checkGolden compares got against testdata/<name>, rewriting the
-// fixture under -update. Byte-exact: sink output is a stable external
-// format consumed by analysis pipelines, so any drift must be a
-// deliberate, reviewed change.
-func checkGolden(t *testing.T, name string, got []byte) {
-	t.Helper()
-	path := filepath.Join("testdata", name)
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("%s drifted from golden fixture (rerun with -update if intended)\n got:\n%s\nwant:\n%s",
-			name, got, want)
-	}
-}
-
-// goldenRecords is a fixed two-record stream: a plain run and an
-// audited cache hit, covering every serialized field including the
-// embedded oracle report.
+// goldenRecords is a fixed three-record stream: a plain run, an
+// audited cache hit, and a heterogeneous mix run, covering every
+// serialized field including the embedded oracle report and the mix
+// tag.
 func goldenRecords() []Record {
 	d1 := Descriptor{
 		Tracker: "Hydra", Mode: "VRR-BR1", NRH: 500,
@@ -92,9 +63,27 @@ func goldenRecords() []Record {
 			},
 		},
 	}
+	d3 := Descriptor{
+		Tracker: "DAPPER-H", Mode: "VRR-BR1", NRH: 500,
+		Workload: "mx-0102030405ab", Attack: "mix",
+		Mix:      "c0=429.mcf|c1=ycsb_a|c2=!refresh|c3=470.lbm",
+		Geometry: dram.Baseline(), Timing: "ddr5",
+		Warmup: dram.US(5), Measure: dram.US(30), Seed: 1,
+		Engine: "event",
+	}
+	r3 := sim.Result{
+		IPC:          []float64{0.9, 1.1, 0.2, 0.7},
+		Instructions: []uint64{108000, 132000, 24000, 84000},
+		Cycles:       dram.US(30),
+		LLCHitRate:   0.5,
+		TrackerNames: []string{"DAPPER-H", "DAPPER-H"},
+	}
+	r3.Counters.ACT = 9000
+	r3.Counters.VRR = 12
 	return []Record{
 		{Key: d1.Key(), Desc: d1, Cached: false, Elapsed: 1234 * time.Millisecond, Result: r1},
 		{Key: d2.Key(), Desc: d2, Cached: true, Elapsed: 0, Result: r2},
+		{Key: d3.Key(), Desc: d3, Cached: false, Elapsed: 456 * time.Millisecond, Result: r3},
 	}
 }
 
@@ -112,7 +101,7 @@ func TestSinkGoldenJSONL(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "sink.jsonl.golden", buf.Bytes())
+	goldentest.Check(t, "sink.jsonl.golden", buf.Bytes())
 }
 
 // TestSinkGoldenCSV pins the CSV sink's byte-exact output.
@@ -127,5 +116,5 @@ func TestSinkGoldenCSV(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "sink.csv.golden", buf.Bytes())
+	goldentest.Check(t, "sink.csv.golden", buf.Bytes())
 }

@@ -1,0 +1,159 @@
+package mix
+
+import (
+	"fmt"
+
+	"dapper/internal/attack"
+	"dapper/internal/workloads"
+)
+
+// GenConfig scopes one seeded mix generation.
+type GenConfig struct {
+	// Cores is the slot count (default 4, the Table I system).
+	Cores int
+	// Attackers is the number of attacker slots (0 = all-benign mix).
+	Attackers int
+	// Attack is the slot every attacker gets (default: the refresh
+	// attack). Its Workload field must be empty.
+	Attack Slot
+	// AttackerCores pins attacker placement to explicit core indices;
+	// nil places them at seeded random distinct cores.
+	AttackerCores []int
+	// Intensive is the number of benign slots drawn from the paper's
+	// >= 2-RBMPKI memory-intensity group; the rest come from its
+	// complement. Negative means a seeded random split.
+	Intensive int
+	// Seed drives every draw: equal configs with equal seeds generate
+	// identical specs (and therefore identical canonical IDs).
+	Seed uint64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Attack == (Slot{}) {
+		c.Attack = Slot{Attack: attack.Refresh.String()}
+	}
+	return c
+}
+
+// seedState scrambles a user seed into a nonzero xorshift state
+// (splitmix64 finalizer): adjacent seeds — including 0 and 1, which a
+// plain zero-clamp would collapse — yield unrelated draw streams.
+func seedState(seed uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Generate builds one heterogeneous mix: stratified seeded sampling
+// over the 57-workload table for the benign slots, attacker slots
+// placed per config. Deterministic: the spec is a pure function of the
+// config (same seed => identical Spec and ID).
+func Generate(cfg GenConfig) (Spec, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cores <= 0 {
+		return Spec{}, fmt.Errorf("mix: non-positive core count %d", cfg.Cores)
+	}
+	if cfg.Attackers < 0 || cfg.Attackers > cfg.Cores {
+		return Spec{}, fmt.Errorf("mix: %d attackers do not fit %d cores", cfg.Attackers, cfg.Cores)
+	}
+	if cfg.Attack.Benign() {
+		return Spec{}, fmt.Errorf("mix: attacker slot template names workload %q", cfg.Attack.Workload)
+	}
+	if cfg.AttackerCores != nil && len(cfg.AttackerCores) != cfg.Attackers {
+		return Spec{}, fmt.Errorf("mix: %d pinned attacker cores for %d attackers",
+			len(cfg.AttackerCores), cfg.Attackers)
+	}
+
+	rng := seedState(cfg.Seed)
+	benign := cfg.Cores - cfg.Attackers
+
+	// Stratify: `intensive` slots from the >= 2-RBMPKI group, the rest
+	// from its complement (sampling with replacement — n copies of one
+	// workload is a legitimate mix).
+	intensive := cfg.Intensive
+	if intensive < 0 {
+		intensive = int(attack.XorShift64(&rng) % uint64(benign+1))
+	}
+	if intensive > benign {
+		return Spec{}, fmt.Errorf("mix: %d intensive slots exceed %d benign slots", intensive, benign)
+	}
+	hi := workloads.MemoryIntensiveSet()
+	var lo []workloads.Workload
+	for _, w := range workloads.All() {
+		if !w.MemoryIntensive() {
+			lo = append(lo, w)
+		}
+	}
+	names := make([]string, 0, benign)
+	for i := 0; i < intensive; i++ {
+		names = append(names, hi[attack.XorShift64(&rng)%uint64(len(hi))].Name)
+	}
+	for i := intensive; i < benign; i++ {
+		names = append(names, lo[attack.XorShift64(&rng)%uint64(len(lo))].Name)
+	}
+	// Shuffle benign positions (Fisher-Yates) so the intensity classes
+	// are not positionally segregated.
+	for i := len(names) - 1; i > 0; i-- {
+		j := int(attack.XorShift64(&rng) % uint64(i+1))
+		names[i], names[j] = names[j], names[i]
+	}
+
+	// Attacker placement: pinned cores, or the first k of a seeded
+	// shuffle of all core indices.
+	isAttacker := make([]bool, cfg.Cores)
+	if cfg.AttackerCores != nil {
+		for _, c := range cfg.AttackerCores {
+			if c < 0 || c >= cfg.Cores {
+				return Spec{}, fmt.Errorf("mix: attacker core %d out of range [0,%d)", c, cfg.Cores)
+			}
+			if isAttacker[c] {
+				return Spec{}, fmt.Errorf("mix: attacker core %d pinned twice", c)
+			}
+			isAttacker[c] = true
+		}
+	} else {
+		perm := make([]int, cfg.Cores)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			j := int(attack.XorShift64(&rng) % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for _, c := range perm[:cfg.Attackers] {
+			isAttacker[c] = true
+		}
+	}
+
+	spec := Spec{Slots: make([]Slot, cfg.Cores)}
+	next := 0
+	for i := range spec.Slots {
+		if isAttacker[i] {
+			spec.Slots[i] = cfg.Attack
+			continue
+		}
+		spec.Slots[i] = Slot{Workload: names[next]}
+		next++
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// MustGenerate is Generate panicking on configuration errors.
+func MustGenerate(cfg GenConfig) Spec {
+	sp, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}

@@ -1,0 +1,63 @@
+package mix
+
+import (
+	"bytes"
+	"testing"
+
+	"dapper/internal/goldentest"
+)
+
+// goldenRows is a fixed three-row sweep: an unaudited benign-only mix,
+// an audited insecure cell with escapes, and an audited secure cell
+// with a starved core — covering every column including the zeroed
+// harmonic/fairness rendering and the per-core join.
+func goldenRows() []ReportRow {
+	return []ReportRow{
+		{
+			Mix: "mx-0102030405ab", Slots: "429.mcf+ycsb_a+470.lbm+403.gcc",
+			Cores: 4, Attackers: 0, Intensive: 2,
+			Tracker: "dapper-h", TrackerName: "DAPPER-H", Mode: "VRR-BR1",
+			NRH: 500, Profile: "tiny",
+			Weighted: 3.4817, Harmonic: 0.862, Fairness: 0.9125,
+			Min: 0.8303, Max: 0.91, PerCore: []float64{0.8303, 0.9, 0.8414, 0.91},
+		},
+		{
+			Mix: "mx-0607080910cd", Slots: "!parametric+464.h264ref+!parametric+464.h264ref",
+			Cores: 4, Attackers: 2, Intensive: 0,
+			Tracker: "none", TrackerName: "none", Mode: "VRR-BR1",
+			NRH: 125, Profile: "tiny",
+			Weighted: 0, Harmonic: 0, Fairness: 0,
+			Min: 0, Max: 0, PerCore: []float64{0, 0},
+			Audited: true, Secure: false, Escapes: 32, MaxCount: 344,
+		},
+		{
+			Mix: "mx-0607080910cd", Slots: "!parametric+464.h264ref+!parametric+464.h264ref",
+			Cores: 4, Attackers: 2, Intensive: 0,
+			Tracker: "blockhammer", TrackerName: "BlockHammer", Mode: "RFMsb",
+			NRH: 125, Profile: "tiny",
+			Weighted: 0.0024777, Harmonic: 0, Fairness: 0,
+			Min: 0, Max: 0.0024777, PerCore: []float64{0.0024777, 0},
+			Audited: true, Secure: true, Escapes: 0, MaxCount: 62,
+		},
+	}
+}
+
+// TestReportGoldenJSONL pins the mix report's JSONL rendering
+// byte-exactly — the artifact CI uploads and the file the mix-smoke
+// target compares across engines.
+func TestReportGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReportJSONL(&buf, goldenRows()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.Check(t, "report.jsonl.golden", buf.Bytes())
+}
+
+// TestReportGoldenCSV pins the CSV rendering byte-exactly.
+func TestReportGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReportCSV(&buf, goldenRows()); err != nil {
+		t.Fatal(err)
+	}
+	goldentest.Check(t, "report.csv.golden", buf.Bytes())
+}

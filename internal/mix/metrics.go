@@ -1,0 +1,73 @@
+package mix
+
+import (
+	"dapper/internal/sim"
+)
+
+// Metrics scores one mix run against per-core isolated baselines —
+// the multi-programmed metrics sim.NormalizedPerf cannot express.
+//
+// For benign core i, speedup_i = IPC_shared_i / IPC_alone_i (its
+// slowdown is the reciprocal). Cores whose isolated baseline IPC is
+// zero carry no information and are skipped from every aggregate
+// (including the denominator — the same rule the fixed
+// sim.NormalizedPerf applies).
+type Metrics struct {
+	// PerCore holds speedup_i per counted benign core, in core order
+	// (parallel to Cores).
+	PerCore []float64 `json:"per_core"`
+	// Cores lists the counted benign core indices.
+	Cores []int `json:"cores"`
+
+	// Weighted is the weighted speedup: sum_i speedup_i. Equals the
+	// counted-core count when sharing costs nothing.
+	Weighted float64 `json:"weighted"`
+	// Harmonic is the harmonic (mean) speedup: n / sum_i (1/speedup_i),
+	// the throughput-and-fairness-balancing aggregate; zero when any
+	// counted core is fully starved.
+	Harmonic float64 `json:"harmonic"`
+	// Fairness is min_i speedup_i / max_i speedup_i in (0,1]: 1 means
+	// every core suffered equally, ->0 means one core absorbed the
+	// damage.
+	Fairness float64 `json:"fairness"`
+	// Min/Max are the extreme per-core speedups (the max/min per-core
+	// slowdowns inverted).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Compute scores the shared run: alone[i] is core i's isolated-baseline
+// IPC (indexed by core; entries for non-benign cores are ignored), and
+// benign lists the cores to score.
+func Compute(shared sim.Result, alone []float64, benign []int) Metrics {
+	m := Metrics{}
+	harmSum := 0.0
+	starved := false
+	for _, c := range benign {
+		if c < 0 || c >= len(shared.IPC) || c >= len(alone) || alone[c] <= 0 {
+			continue
+		}
+		s := shared.IPC[c] / alone[c]
+		m.PerCore = append(m.PerCore, s)
+		m.Cores = append(m.Cores, c)
+		m.Weighted += s
+		if s > 0 {
+			harmSum += 1 / s
+		} else {
+			starved = true
+		}
+		if len(m.PerCore) == 1 || s < m.Min {
+			m.Min = s
+		}
+		if s > m.Max {
+			m.Max = s
+		}
+	}
+	if n := len(m.PerCore); n > 0 && !starved {
+		m.Harmonic = float64(n) / harmSum
+	}
+	if m.Max > 0 {
+		m.Fairness = m.Min / m.Max
+	}
+	return m
+}

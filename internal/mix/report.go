@@ -1,0 +1,98 @@
+package mix
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReportRow is one cell of a tracker x mix x NRH sweep: the mix
+// identity, the cell coordinates, and the weighted-speedup metric
+// block, plus the shadow oracle's verdict when the sweep was audited.
+// Rows deliberately carry no engine tag, no cache key and no
+// wall-clock, so a report is byte-identical across reruns and across
+// the event/cycle engines.
+type ReportRow struct {
+	Mix       string `json:"mix"`   // canonical content-derived ID ("mx-...")
+	Slots     string `json:"slots"` // human-readable slot list ("429.mcf+!refresh+...")
+	Cores     int    `json:"cores"`
+	Attackers int    `json:"attackers"`
+	Intensive int    `json:"intensive"` // benign slots in the >=2-RBMPKI group
+
+	Tracker     string `json:"tracker"`      // batch id ("hydra")
+	TrackerName string `json:"tracker_name"` // display name ("Hydra")
+	Mode        string `json:"mode"`
+	NRH         uint32 `json:"nrh"`
+	Profile     string `json:"profile"`
+
+	Weighted float64   `json:"weighted_speedup"`
+	Harmonic float64   `json:"harmonic_speedup"`
+	Fairness float64   `json:"fairness"`
+	Min      float64   `json:"min_speedup"`
+	Max      float64   `json:"max_speedup"`
+	PerCore  []float64 `json:"per_core_speedup"`
+
+	// Audited marks rows whose run carried the shadow security oracle;
+	// Secure/Escapes/MaxCount are meaningful only then.
+	Audited  bool   `json:"audited,omitempty"`
+	Secure   bool   `json:"secure,omitempty"`
+	Escapes  uint64 `json:"escapes,omitempty"`
+	MaxCount uint32 `json:"max_count,omitempty"`
+}
+
+// reportHeader is the fixed CSV column set, mirroring ReportRow's JSON
+// field order (per-core speedups joined with ';' to stay one cell).
+var reportHeader = []string{
+	"mix", "slots", "cores", "attackers", "intensive",
+	"tracker", "tracker_name", "mode", "nrh", "profile",
+	"weighted_speedup", "harmonic_speedup", "fairness",
+	"min_speedup", "max_speedup", "per_core_speedup",
+	"audited", "secure", "escapes", "max_count",
+}
+
+// WriteReportJSONL streams rows as one JSON object per line, in the
+// caller's deterministic sweep order.
+func WriteReportJSONL(w io.Writer, rows []ReportRow) error {
+	enc := json.NewEncoder(w)
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteReportCSV writes the sweep as a flat header+rows table.
+func WriteReportCSV(w io.Writer, rows []ReportRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(reportHeader); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		per := make([]string, len(r.PerCore))
+		for j, s := range r.PerCore {
+			per[j] = f64(s)
+		}
+		rec := []string{
+			r.Mix, r.Slots,
+			strconv.Itoa(r.Cores), strconv.Itoa(r.Attackers), strconv.Itoa(r.Intensive),
+			r.Tracker, r.TrackerName, r.Mode,
+			strconv.FormatUint(uint64(r.NRH), 10), r.Profile,
+			f64(r.Weighted), f64(r.Harmonic), f64(r.Fairness),
+			f64(r.Min), f64(r.Max), strings.Join(per, ";"),
+			strconv.FormatBool(r.Audited), strconv.FormatBool(r.Secure),
+			strconv.FormatUint(r.Escapes, 10),
+			strconv.FormatUint(uint64(r.MaxCount), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

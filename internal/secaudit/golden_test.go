@@ -2,35 +2,10 @@ package secaudit
 
 import (
 	"bytes"
-	"flag"
-	"os"
-	"path/filepath"
 	"testing"
+
+	"dapper/internal/goldentest"
 )
-
-var update = flag.Bool("update", false, "rewrite golden files")
-
-func checkGolden(t *testing.T, name string, got []byte) {
-	t.Helper()
-	path := filepath.Join("testdata", name)
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("%s drifted from golden fixture (rerun with -update if intended)\n got:\n%s\nwant:\n%s",
-			name, got, want)
-	}
-}
 
 // goldenRows is a fixed three-row matrix: an escaping baseline, a
 // secure tracker, and a throttling tracker — covering every column
@@ -67,7 +42,7 @@ func TestMatrixGoldenJSONL(t *testing.T) {
 	if err := WriteMatrixJSONL(&buf, goldenRows()); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "matrix.jsonl.golden", buf.Bytes())
+	goldentest.Check(t, "matrix.jsonl.golden", buf.Bytes())
 }
 
 // TestMatrixGoldenCSV pins the CSV rendering byte-exactly.
@@ -76,5 +51,5 @@ func TestMatrixGoldenCSV(t *testing.T) {
 	if err := WriteMatrixCSV(&buf, goldenRows()); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, "matrix.csv.golden", buf.Bytes())
+	goldentest.Check(t, "matrix.csv.golden", buf.Bytes())
 }

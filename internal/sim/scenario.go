@@ -38,16 +38,19 @@ func BenignCores(n int) []int {
 
 // NormalizedPerf returns the mean IPC ratio of the given cores between a
 // treatment run and its baseline — the paper's "normalized performance"
-// metric.
+// metric. Cores whose baseline IPC is zero carry no information and are
+// skipped from both the sum and the denominator (counting them only in
+// the denominator would silently deflate the mean).
 func NormalizedPerf(treat, base Result, cores []int) float64 {
-	if len(cores) == 0 {
-		return 0
-	}
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, c := range cores {
 		if base.IPC[c] > 0 {
 			sum += treat.IPC[c] / base.IPC[c]
+			n++
 		}
 	}
-	return sum / float64(len(cores))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }

@@ -180,6 +180,23 @@ func TestNormalizedPerfHelper(t *testing.T) {
 	}
 }
 
+// TestNormalizedPerfSkipsZeroBaselineCores is the denominator
+// regression: a core with zero baseline IPC used to be skipped in the
+// sum but still counted in the denominator, silently deflating the
+// mean. It must be skipped in both.
+func TestNormalizedPerfSkipsZeroBaselineCores(t *testing.T) {
+	treat := Result{IPC: []float64{1, 2, 0.5}}
+	base := Result{IPC: []float64{2, 0, 1}}
+	got := NormalizedPerf(treat, base, []int{0, 1, 2})
+	want := (0.5 + 0.5) / 2 // core 1 contributes to neither sum nor count
+	if got != want {
+		t.Fatalf("normalized = %v, want %v (zero-baseline core deflated the mean)", got, want)
+	}
+	if NormalizedPerf(treat, Result{IPC: []float64{0, 0, 0}}, []int{0, 1, 2}) != 0 {
+		t.Fatal("all-zero baseline should give 0, not NaN")
+	}
+}
+
 func TestBenignCores(t *testing.T) {
 	c := BenignCores(4)
 	if len(c) != 3 || c[0] != 0 || c[2] != 2 {
