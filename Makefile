@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke bench-mix bench-smoke bench-compare adversary-smoke bench-adversary ci
+.PHONY: all build vet test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke telemetry-smoke bench-mix bench-smoke bench-compare bench-check adversary-smoke bench-adversary ci
 
 all: build vet test
 
@@ -55,6 +55,17 @@ audit-smoke:
 mix-smoke:
 	$(GO) run ./cmd/dapper-mix -profile tiny -mixes 2 -cores 4 -attackers 2 -attack hammer -tracker all -nrh 125 -seed 1 -audit -check -out mix-smoke
 
+# Telemetry smoke: one small windowed run rendered to
+# telemetry-smoke/timeline.{jsonl,csv} with -check gating the series
+# invariants (monotone window grid, per-window sums equal to grand
+# totals, ACT/mitigation conservation against the final DRAM counters)
+# and cross-engine byte equality of the series — then a tiny batch
+# sweep with the harness tracer attached, so telemetry-smoke/tel/
+# carries a Perfetto-viewable trace.json CI uploads as an artifact.
+telemetry-smoke:
+	$(GO) run ./cmd/dapper-timeline -tracker dapper-h -attack refresh -nrh 500 -warmup 5 -measure 60 -window 10 -rows-per-bank 1024 -seed 1 -check -out telemetry-smoke
+	$(GO) run ./cmd/dapper-batch -profile tiny -trackers dapper-h,none -workloads 429.mcf -nrh 500 -attack refresh -window-us 10 -telemetry telemetry-smoke/tel -out telemetry-smoke
+
 # Benchmark mix-sweep throughput (cells per second) and record it in
 # BENCH_mix.json (BenchmarkMix in bench_test.go is the in-process
 # equivalent, covered by bench-smoke).
@@ -71,6 +82,13 @@ bench-smoke:
 bench-compare:
 	$(GO) run ./cmd/dapper-engine-bench -exp fig11 -out BENCH_engine.json
 
+# Gate the engine-speedup trajectory instead of recording it: re-run
+# the telemetry-off benchmark and fail if the event-over-cycle speedup
+# ratio regressed >10% versus the committed BENCH_engine.json (the
+# ratio, not wall-clock, so it holds across machine speeds).
+bench-check:
+	$(GO) run ./cmd/dapper-engine-bench -exp fig11 -out BENCH_engine.json -check
+
 # Worst-case attack search smoke: a deterministic tiny-profile search
 # against two trackers (fixed seed, well under a minute). CI uploads
 # the resilience reports it writes to adversary-smoke/.
@@ -82,4 +100,4 @@ adversary-smoke:
 bench-adversary:
 	$(GO) run ./cmd/dapper-adversary -tracker dapper-h -profile tiny -budget 16 -seed 1 -out adversary-bench -bench BENCH_adversary.json
 
-ci: build vet test test-race test-engine-equivalence audit-smoke mix-smoke fuzz-smoke bench-smoke bench-compare adversary-smoke bench-adversary bench-mix
+ci: build vet test test-race test-engine-equivalence audit-smoke mix-smoke telemetry-smoke fuzz-smoke bench-smoke bench-check adversary-smoke bench-adversary bench-mix

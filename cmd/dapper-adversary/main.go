@@ -29,11 +29,13 @@ import (
 	"time"
 
 	"dapper/internal/adversary"
+	"dapper/internal/diag"
 	"dapper/internal/exp"
 	"dapper/internal/harness"
 	"dapper/internal/mix"
 	"dapper/internal/rh"
 	"dapper/internal/sim"
+	"dapper/internal/telemetry"
 	"dapper/internal/workloads"
 )
 
@@ -58,6 +60,8 @@ func main() {
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
 	outDir := flag.String("out", ".", "output directory for adversary-<tracker>.{jsonl,csv}")
 	benchOut := flag.String("bench", "", "write a candidates/sec benchmark JSON to this path")
+	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	listTrackers := flag.Bool("list-trackers", false, "list tracker ids and exit")
 	flag.Parse()
 
@@ -124,13 +128,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tracer *telemetry.Tracer
+	if *telemetryDir != "" {
+		tracer = telemetry.NewTracer()
+	}
 	pool := harness.NewPool(harness.Options{
 		Workers: *jobs,
 		Cache:   cache,
+		Tracer:  tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
+	if *debugAddr != "" {
+		bound, err := diag.Serve(*debugAddr, pool.Stats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
+	}
 
 	start := time.Now()
 	evals, baselines := 0, 0
@@ -176,6 +192,12 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	st := pool.Stats()
+	if tracer != nil {
+		if err := harness.WriteTelemetry(*telemetryDir, tracer, st); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry written to %s\n", *telemetryDir)
+	}
 	fmt.Fprintf(os.Stderr, "%d evaluations + %d baseline submissions (%d simulated, %d cache hits) in %.1fs on %d workers; reports in %s\n",
 		evals, baselines, st.Ran, st.CacheHits, elapsed.Seconds(), *jobs, *outDir)
 

@@ -28,11 +28,13 @@ import (
 	"strconv"
 	"strings"
 
+	"dapper/internal/diag"
 	"dapper/internal/exp"
 	"dapper/internal/harness"
 	"dapper/internal/rh"
 	"dapper/internal/secaudit"
 	"dapper/internal/sim"
+	"dapper/internal/telemetry"
 	"dapper/internal/workloads"
 )
 
@@ -55,6 +57,8 @@ func main() {
 	outDir := flag.String("out", ".", "output directory for audit-matrix.{jsonl,csv}")
 	countInjected := flag.Bool("count-injected", false, "charge tracker counter traffic in the oracle ledger")
 	check := flag.Bool("check", false, "exit non-zero unless 'none' escapes and every real tracker is escape-free")
+	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	listTrackers := flag.Bool("list-trackers", false, "list tracker ids and exit")
 	flag.Parse()
 
@@ -143,13 +147,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tracer *telemetry.Tracer
+	if *telemetryDir != "" {
+		tracer = telemetry.NewTracer()
+	}
 	pool := harness.NewPool(harness.Options{
 		Workers: *jobs,
 		Cache:   cache,
+		Tracer:  tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
+	if *debugAddr != "" {
+		bound, err := diag.Serve(*debugAddr, pool.Stats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
+	}
 	futs := make([]*harness.Future, len(sweep))
 	for i, job := range sweep {
 		futs[i] = pool.Submit(job)
@@ -185,6 +201,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprint(os.Stderr, "\r\033[K")
+	if tracer != nil {
+		if err := harness.WriteTelemetry(*telemetryDir, tracer, pool.Stats()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry written to %s\n", *telemetryDir)
+	}
 
 	for _, name := range []string{"audit-matrix.jsonl", "audit-matrix.csv"} {
 		f, err := os.Create(filepath.Join(*outDir, name))

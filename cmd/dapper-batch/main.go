@@ -26,10 +26,13 @@ import (
 	"time"
 
 	"dapper/internal/attack"
+	"dapper/internal/diag"
+	"dapper/internal/dram"
 	"dapper/internal/exp"
 	"dapper/internal/harness"
 	"dapper/internal/rh"
 	"dapper/internal/sim"
+	"dapper/internal/telemetry"
 	"dapper/internal/workloads"
 )
 
@@ -50,6 +53,9 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (<=0 = NumCPU)")
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
 	outDir := flag.String("out", ".", "output directory for batch.jsonl + batch.csv")
+	windowUS := flag.Float64("window-us", 0, "in-sim telemetry window in microseconds (0 = off); each result gains a windowed Series")
+	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	listTrackers := flag.Bool("list-trackers", false, "list tracker ids and exit")
 	flag.Parse()
 
@@ -62,12 +68,14 @@ func main() {
 
 	var p exp.Profile
 	switch *profile {
+	case "tiny":
+		p = exp.Tiny()
 	case "quick":
 		p = exp.Quick()
 	case "full":
 		p = exp.Full()
 	default:
-		fatal(fmt.Errorf("unknown profile %q (quick|full)", *profile))
+		fatal(fmt.Errorf("unknown profile %q (tiny|quick|full)", *profile))
 	}
 	engine, err := sim.ParseEngine(*engineName)
 	if err != nil {
@@ -76,6 +84,12 @@ func main() {
 	p.Engine = engine
 	if *seed != 0 {
 		p.Seed = *seed
+	}
+	if *windowUS < 0 {
+		fatal(fmt.Errorf("-window-us must be non-negative (microseconds, 0 = off), got %g", *windowUS))
+	}
+	if *windowUS > 0 {
+		p.TelemetryWindow = dram.US(*windowUS)
 	}
 
 	if *jobs <= 0 {
@@ -135,14 +149,26 @@ func main() {
 		fatal(err)
 	}
 
+	var tracer *telemetry.Tracer
+	if *telemetryDir != "" {
+		tracer = telemetry.NewTracer()
+	}
 	pool := harness.NewPool(harness.Options{
 		Workers: *jobs,
 		Cache:   cache,
 		Sinks:   sinks,
+		Tracer:  tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
+	if *debugAddr != "" {
+		bound, err := diag.Serve(*debugAddr, pool.Stats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
+	}
 
 	start := time.Now()
 	futures := make([]*harness.Future, len(batch))
@@ -160,6 +186,12 @@ func main() {
 		fatal(err)
 	}
 	st := pool.Stats()
+	if tracer != nil {
+		if err := harness.WriteTelemetry(*telemetryDir, tracer, st); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry written to %s (open trace.json at https://ui.perfetto.dev)\n", *telemetryDir)
+	}
 	fmt.Fprintln(os.Stderr)
 	fmt.Printf("%d runs (%d simulated, %d cache hits, %d deduplicated) in %.1fs on %d workers\n",
 		st.Submitted, st.Ran, st.CacheHits, st.Submitted-st.Unique,

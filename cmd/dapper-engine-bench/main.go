@@ -8,6 +8,15 @@
 //
 //	dapper-engine-bench                     # fig11, BENCH_engine.json
 //	dapper-engine-bench -exp fig1 -out engines.json
+//	dapper-engine-bench -check              # gate vs the recorded baseline
+//
+// -check compares the fresh measurement against the committed baseline
+// in -out instead of rewriting it, and exits non-zero if the
+// event-over-cycle speedup ratio regressed by more than 10%. The ratio
+// — not wall-clock seconds — is the gated quantity, so the check is
+// meaningful on machines faster or slower than the one that recorded
+// the baseline. All benchmarked runs are telemetry-off, so this also
+// gates the cost of the telemetry nil-checks on the hot paths.
 package main
 
 import (
@@ -60,7 +69,8 @@ func timeRun(id string, engine sim.Engine) (float64, error) {
 
 func main() {
 	expID := flag.String("exp", "fig11", "experiment id to benchmark")
-	out := flag.String("out", "BENCH_engine.json", "output JSON path")
+	out := flag.String("out", "BENCH_engine.json", "output JSON path (with -check: the baseline to gate against)")
+	check := flag.Bool("check", false, "compare against the -out baseline instead of rewriting it; exit non-zero on >10% speedup-ratio regression")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "benchmarking %s: cycle engine...\n", *expID)
@@ -85,6 +95,33 @@ func main() {
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 	}
+
+	if *check {
+		raw, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "no baseline to check against: %v\n", err)
+			os.Exit(1)
+		}
+		var base report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bad baseline %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: speedup %.2fx now vs %.2fx baseline (%s)\n",
+			*expID, r.Speedup, base.Speedup, base.Timestamp)
+		if base.Speedup <= 0 {
+			fmt.Fprintf(os.Stderr, "baseline speedup %g is not positive; re-record it\n", base.Speedup)
+			os.Exit(1)
+		}
+		if r.Speedup < 0.9*base.Speedup {
+			fmt.Fprintf(os.Stderr, "check FAILED: speedup regressed >10%% (%.2fx -> %.2fx); the event engine lost its advantage\n",
+				base.Speedup, r.Speedup)
+			os.Exit(1)
+		}
+		fmt.Println("check passed: engine speedup within 10% of baseline")
+		return
+	}
+
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -31,11 +31,13 @@ import (
 	"strings"
 	"time"
 
+	"dapper/internal/diag"
 	"dapper/internal/exp"
 	"dapper/internal/harness"
 	"dapper/internal/mix"
 	"dapper/internal/rh"
 	"dapper/internal/sim"
+	"dapper/internal/telemetry"
 )
 
 func fatal(err error) {
@@ -61,6 +63,8 @@ func main() {
 	audit := flag.Bool("audit", false, "attach the shadow security oracle to every mix run")
 	check := flag.Bool("check", false, "exit non-zero on out-of-bounds metrics (and, with -audit, on conformance violations)")
 	benchOut := flag.String("bench", "", "write a runs/sec benchmark JSON to this path")
+	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	listTrackers := flag.Bool("list-trackers", false, "list tracker ids and exit")
 	flag.Parse()
 
@@ -141,13 +145,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tracer *telemetry.Tracer
+	if *telemetryDir != "" {
+		tracer = telemetry.NewTracer()
+	}
 	pool := harness.NewPool(harness.Options{
 		Workers: *jobs,
 		Cache:   cache,
+		Tracer:  tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
+	if *debugAddr != "" {
+		bound, err := diag.Serve(*debugAddr, pool.Stats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
+	}
 
 	start := time.Now()
 	rows, err := exp.RunMixSweep(exp.MixRequest{
@@ -167,6 +183,12 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	fmt.Fprint(os.Stderr, "\r\033[K")
+	if tracer != nil {
+		if err := harness.WriteTelemetry(*telemetryDir, tracer, pool.Stats()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry written to %s\n", *telemetryDir)
+	}
 
 	for _, name := range []string{"mix-report.jsonl", "mix-report.csv"} {
 		f, err := os.Create(filepath.Join(*outDir, name))

@@ -1,0 +1,194 @@
+// Command dapper-timeline runs one windowed simulation and renders its
+// cycle-windowed time-series (per-core IPC and stall fraction,
+// per-channel demand vs injected ACT rate, mitigation rate by kind,
+// queue occupancy, tracker table occupancy) to JSONL and CSV — the data
+// behind tracker-vs-attack dynamics figures.
+//
+// Usage:
+//
+//	dapper-timeline -workload 429.mcf -tracker dapper-h -attack refresh -window 10
+//	dapper-timeline -tracker hydra -attack hydra-conflict -out dyn/ -check
+//	dapper-timeline -tracker none -attack none -format csv
+//
+// -check replays the identical configuration on the other engine and
+// fails unless the two series are byte-identical, re-verifies the
+// series invariants (monotone window grid, stall bounds, per-window
+// sums equal to grand totals), and gates ACT/mitigation conservation
+// against the run's final DRAM counters: the exact grand-total equality
+// runs inside sim.Run on every windowed run, and here the whole-run
+// totals must additionally contain the measure-window deltas.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/exp"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/telemetry"
+	"dapper/internal/workloads"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func runOnce(engine sim.Engine, geo dram.Geometry, factory sim.TrackerFactory,
+	w workloads.Workload, kind attack.Kind, nrh uint32,
+	warmup, measure, window dram.Cycle, seed uint64) (sim.Result, error) {
+	traces := sim.BenignTraces(w, 3, geo, seed)
+	if kind == attack.None {
+		traces = sim.BenignTraces(w, 4, geo, seed)
+	} else {
+		traces = append(traces, attack.MustTrace(attack.Config{
+			Geometry: geo, NRH: nrh, Kind: kind, Seed: seed,
+		}))
+	}
+	return sim.Run(sim.Config{
+		Geometry:        geo,
+		Traces:          traces,
+		Tracker:         factory,
+		Warmup:          warmup,
+		Measure:         measure,
+		Engine:          engine,
+		TelemetryWindow: window,
+	})
+}
+
+func main() {
+	wl := flag.String("workload", "429.mcf", "benign workload name")
+	tr := flag.String("tracker", "dapper-h", "tracker id (see dapper-batch -list-trackers), or 'none'")
+	atk := flag.String("attack", "refresh", "attack on the 4th core ('none' = four benign copies)")
+	nrh := flag.Uint("nrh", 500, "RowHammer threshold")
+	windowUS := flag.Float64("window", 10, "telemetry window in microseconds")
+	measureUS := flag.Float64("measure", 400, "measurement window in microseconds")
+	warmupUS := flag.Float64("warmup", 100, "warmup window in microseconds")
+	rowsPerBank := flag.Uint("rows-per-bank", 0, "override rows per bank (0 = full 64K)")
+	seed := flag.Uint64("seed", 1, "workload + attack trace seed")
+	engineName := flag.String("engine", "event", "simulation engine: event or cycle")
+	outDir := flag.String("out", ".", "output directory for timeline.{jsonl,csv}")
+	format := flag.String("format", "both", "output format: jsonl, csv or both")
+	check := flag.Bool("check", false, "verify series invariants and cross-engine byte equality; non-zero exit on failure")
+	flag.Parse()
+
+	if *windowUS <= 0 {
+		fatal(fmt.Errorf("-window must be positive (microseconds)"))
+	}
+	switch *format {
+	case "jsonl", "csv", "both":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (jsonl|csv|both)", *format))
+	}
+	w, err := workloads.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := attack.ParseKind(*atk)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	geo := dram.Baseline()
+	if *rowsPerBank != 0 {
+		geo = dram.Scaled(uint32(*rowsPerBank))
+	}
+	factory, err := exp.TrackerFactory(*tr, geo, uint32(*nrh), rh.VRR1)
+	if err != nil {
+		fatal(err)
+	}
+	warmup, measure, window := dram.US(*warmupUS), dram.US(*measureUS), dram.US(*windowUS)
+
+	res, err := runOnce(engine, geo, factory, w, kind, uint32(*nrh), warmup, measure, window, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	s := res.Series
+	if s == nil {
+		fatal(fmt.Errorf("run produced no series (TelemetryWindow not plumbed?)"))
+	}
+
+	if *check {
+		// Validate re-checks the window grid and the per-window sums
+		// against the series' own grand totals; the exact grand-total-vs-
+		// DRAM-counter conservation gate already ran inside sim.Run (it
+		// fails the run on any mismatch). What remains checkable here is
+		// the whole-run ⊇ measure-window containment: the series covers
+		// warmup + measure, so its totals can never undercount the
+		// measure-only deltas in res.Counters.
+		if err := s.Validate(); err != nil {
+			fatal(fmt.Errorf("series invariants: %w", err))
+		}
+		if s.Cycles != s.Warmup+measure {
+			fatal(fmt.Errorf("series span %d != warmup %d + measure %d", s.Cycles, s.Warmup, measure))
+		}
+		acts := s.Totals.DemandACT + s.Totals.InjACT
+		if acts < res.Counters.ACT {
+			fatal(fmt.Errorf("ACT conservation: whole-run series %d (demand %d + injected %d) < measure-window counter %d",
+				acts, s.Totals.DemandACT, s.Totals.InjACT, res.Counters.ACT))
+		}
+		if s.Totals.VRR < res.Counters.VRR || s.Totals.REF < res.Counters.REF {
+			fatal(fmt.Errorf("mitigation conservation: series VRR=%d REF=%d < measure-window VRR=%d REF=%d",
+				s.Totals.VRR, s.Totals.REF, res.Counters.VRR, res.Counters.REF))
+		}
+		other := sim.EngineCycle
+		if engine.OrDefault() == sim.EngineCycle {
+			other = sim.EngineEvent
+		}
+		res2, err := runOnce(other, geo, factory, w, kind, uint32(*nrh), warmup, measure, window, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s replay: %w", other, err))
+		}
+		a, err := json.Marshal(s)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.Marshal(res2.Series)
+		if err != nil {
+			fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			fatal(fmt.Errorf("engines diverge: %s and %s series are not byte-identical", engine.OrDefault(), other))
+		}
+		fmt.Printf("check passed: %d windows, invariants hold, ACT conserved (%d), %s == %s byte-identical\n",
+			s.NumWindows(), acts, engine.OrDefault(), other)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *format != "csv" {
+		write("timeline.jsonl", func(f *os.File) error { return telemetry.WriteSeriesJSONL(f, s) })
+	}
+	if *format != "jsonl" {
+		write("timeline.csv", func(f *os.File) error { return telemetry.WriteSeriesCSV(f, s) })
+	}
+	fmt.Printf("workload=%s tracker=%s attack=%s NRH=%d: %d windows of %dus over %d cycles (VRR=%d RFMsb=%d DRFMsb=%d bulk=%d)\n",
+		w.Name, res.TrackerNames[0], kind, *nrh, s.NumWindows(), int64(*windowUS),
+		s.Cycles, s.Totals.VRR, s.Totals.RFMsb, s.Totals.DRFMsb, s.Totals.Bulk)
+}

@@ -209,6 +209,58 @@
 // every tracker must hold, and all metrics must stay in bounds. See
 // examples/mix for the in-process API.
 //
+// # Observability (internal/telemetry, internal/diag, cmd/dapper-timeline)
+//
+// Every number above is a steady-state average over the measurement
+// window; internal/telemetry adds the dynamics, at two levels.
+//
+// In-sim and deterministic: setting sim.Config.TelemetryWindow (off by
+// default, -window-us/-window on the cmds) attaches a cycle-windowed
+// sampler that folds per-core IPC and stall fraction, per-channel
+// demand vs tracker-injected activation rates, mitigation commands by
+// kind, controller queue occupancy, and tracker table occupancy and
+// reset counts into a telemetry.Series embedded in sim.Result. The
+// fold is exact under time-skip: components report increments at event
+// boundaries through small probe hooks symmetric to rh.Observer
+// (mem.Controller.SetProbe, cpu.Core.SetProbe, with the event engine's
+// closed-form catch-ups emitting multi-cycle segments of identical
+// per-cycle semantics), so the event and cycle engines produce
+// byte-identical Series — enforced tracker-by-tracker in
+// sim.TestEngineEquivalenceTelemetry, part of
+// `make test-engine-equivalence`. Each series carries independently
+// accumulated grand totals, and sim.Run cross-checks them against the
+// final DRAM command counters on every windowed run: a fold that drops
+// or double-counts an event fails the run instead of skewing a figure. Windowed runs
+// fold the window into harness.Descriptor's cache key (Telemetry tag),
+// so telemetry-on and telemetry-off results never alias; when the
+// window is off the probes are nil and the hot paths pay only a nil
+// check, a cost gated by `make bench-check`, which re-times the
+// telemetry-off engine benchmark and fails CI if the event-over-cycle
+// speedup ratio regresses >10% versus the committed BENCH_engine.json.
+//
+// cmd/dapper-timeline renders one windowed run to timeline.{jsonl,csv}
+// — the data behind mitigation-rate-vs-time and IPC-vs-time figures —
+// and its -check replays the run on the other engine to assert
+// byte-identical series plus the conservation containments
+// (`make telemetry-smoke` is the CI-pinned variant). See
+// examples/telemetry for the in-process fold: DAPPER-H's mitigation
+// rate ramping up under the refresh attack while benign IPC collapses,
+// next to the flat insecure baseline.
+//
+// Harness level and wall-clock: telemetry.Tracer records per-job spans
+// (queue wait, execution on a worker lane, cache hit, sink flush) from
+// the pool and exports Chrome trace-event JSON — open it at
+// https://ui.perfetto.dev for a lane-per-worker timeline of a sweep —
+// and harness.Pool.Stats exposes live submitted/deduplicated/ran/
+// cache-hit/error counters with elapsed-time aggregates. Every sweep
+// cmd (dapper-batch, dapper-adversary, dapper-mix, dapper-audit) takes
+// -telemetry dir/ to write trace.json + counters.json after the run,
+// and -debug-addr to serve the same counters live over HTTP
+// (internal/diag: expvar at /debug/vars plus the pprof handlers) while
+// a long sweep is in flight. Tracing never perturbs results: spans are
+// recorded outside the result path and the export is sorted, so equal
+// span sets serialize identically.
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package dapper

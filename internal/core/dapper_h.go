@@ -219,6 +219,25 @@ func (d *DapperH) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 // Stats implements rh.Tracker.
 func (d *DapperH) Stats() rh.Stats { return d.stats }
 
+// TableOccupancy implements rh.TableReporter: live entries are
+// non-zero counters across both tables, resets are epoch rollovers.
+func (d *DapperH) TableOccupancy() rh.TableOccupancy {
+	occ := rh.TableOccupancy{Resets: d.epoch}
+	for r := range d.ranks {
+		rk := &d.ranks[r]
+		occ.Capacity += len(rk.rgc1) + len(rk.rgc2)
+		for i := range rk.rgc1 {
+			if rk.rgc1[i] != 0 {
+				occ.Used++
+			}
+			if rk.rgc2[i] != 0 {
+				occ.Used++
+			}
+		}
+	}
+	return occ
+}
+
 // SingleSharedFraction returns the fraction of mitigations that
 // refreshed exactly one shared row (paper: 99.9%, footnote 5).
 func (d *DapperH) SingleSharedFraction() float64 {

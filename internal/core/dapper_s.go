@@ -123,6 +123,22 @@ func (d *DapperS) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 // Stats implements rh.Tracker.
 func (d *DapperS) Stats() rh.Stats { return d.stats }
 
+// TableOccupancy implements rh.TableReporter: live entries are groups
+// with a non-zero counter, resets are epoch rollovers.
+func (d *DapperS) TableOccupancy() rh.TableOccupancy {
+	occ := rh.TableOccupancy{Resets: d.epoch}
+	for r := range d.ranks {
+		rgc := d.ranks[r].rgc
+		occ.Capacity += len(rgc)
+		for _, c := range rgc {
+			if c != 0 {
+				occ.Used++
+			}
+		}
+	}
+	return occ
+}
+
 // GroupCount returns the current counter of the group that row belongs
 // to (test hook).
 func (d *DapperS) GroupCount(loc dram.Loc) uint32 {

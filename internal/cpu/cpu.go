@@ -10,6 +10,7 @@ package cpu
 import (
 	"dapper/internal/dram"
 	"dapper/internal/mem"
+	"dapper/internal/telemetry"
 )
 
 // Record is one trace step: Bubbles non-memory instructions followed by
@@ -94,6 +95,10 @@ type Core struct {
 	// entry is ready and entries are interchangeable.
 	pendingCount  int
 	maxCompleteAt dram.Cycle
+
+	// probe, when attached, receives the core's exact retirement
+	// trajectory as uniform segments; nil costs one branch per Step.
+	probe telemetry.CoreProbe
 }
 
 // New builds a core reading from trace and accessing memory through m.
@@ -125,6 +130,14 @@ func (c *Core) MemWrites() uint64 { return c.memWrites }
 // StallCycles returns cycles in which nothing dispatched (ROB full or
 // memory backpressure).
 func (c *Core) StallCycles() uint64 { return c.stallCyc }
+
+// SetProbe attaches a telemetry probe (nil detaches). The probe sees
+// every stepped cycle exactly once, as uniform segments: the per-cycle
+// Step path emits single-cycle segments, and catchUp's O(1) folds emit
+// one multi-cycle segment per fold with the same per-cycle semantics —
+// so the folded series is byte-identical whichever engine drives the
+// core. Attach before the first Step.
+func (c *Core) SetProbe(p telemetry.CoreProbe) { c.probe = p }
 
 // Stalled reports whether the core is holding a memory access the
 // hierarchy refused (backpressure). A stalled core retries every cycle,
@@ -164,6 +177,7 @@ func (c *Core) Step(now dram.Cycle) {
 	}
 	c.lastStep = now
 	c.cycles++
+	retiredBefore := c.retired
 
 	// Retire.
 	for n := 0; n < Width && c.count > 0; n++ {
@@ -248,6 +262,13 @@ func (c *Core) Step(now dram.Cycle) {
 		c.stallCyc++
 	}
 	c.lastDispatched = dispatched
+	if c.probe != nil {
+		disp := dram.Cycle(0)
+		if dispatched > 0 {
+			disp = 1
+		}
+		c.probe.CoreSegment(now, now+1, c.retired-retiredBefore, disp)
+	}
 }
 
 // catchUp replays the cycles [from, to) the event engine skipped:
@@ -272,6 +293,9 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 			c.retired += uint64(n) * Width
 			c.bubbles -= int(n) * Width
 			c.cycles += uint64(n)
+			if c.probe != nil {
+				c.probe.CoreSegment(cyc, cyc+n, uint64(n)*Width, n)
+			}
 			cyc += n - 1
 			continue
 		}
@@ -305,6 +329,9 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 				c.retired += uint64(disp)
 				c.bubbles -= disp
 				c.cycles += uint64(m)
+				if c.probe != nil {
+					c.probe.CoreSegment(cyc, cyc+m, uint64(disp), m)
+				}
 				cyc += m - 1
 				continue
 			}
@@ -343,11 +370,17 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 				c.bubbles -= disp
 				c.stallCyc += uint64(n) - uint64((disp+Width-1)/Width)
 				c.cycles += uint64(n)
+				if c.probe != nil {
+					// Greedy dispatch fills full-width cycles first, so the
+					// dispatching prefix is ceil(disp/Width) cycles long.
+					c.probe.CoreSegment(cyc, cyc+n, 0, dram.Cycle((disp+Width-1)/Width))
+				}
 				cyc += n - 1
 				continue
 			}
 		}
 		c.cycles++
+		retiredBefore := c.retired
 		for n := 0; n < Width && c.count > 0; n++ {
 			e := &c.rob[c.head]
 			if e.pending != nil {
@@ -373,6 +406,13 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 		}
 		if dispatched == 0 {
 			c.stallCyc++
+		}
+		if c.probe != nil {
+			disp := dram.Cycle(0)
+			if dispatched > 0 {
+				disp = 1
+			}
+			c.probe.CoreSegment(cyc, cyc+1, c.retired-retiredBefore, disp)
 		}
 	}
 }

@@ -1,0 +1,55 @@
+// Package diag exposes live introspection for long sweeps: an HTTP
+// endpoint serving expvar (/debug/vars, including a "harness" variable
+// with the pool's live counters) and pprof (/debug/pprof/). Commands
+// attach it behind a -debug-addr flag; it is purely observational and
+// never alters results.
+package diag
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"dapper/internal/harness"
+)
+
+var pubMu sync.Mutex
+
+// publish registers an expvar.Func under name, replacing nothing:
+// expvar panics on duplicate names, so repeated Serve calls (tests)
+// reuse the first registration.
+func publish(name string, f expvar.Func) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, f)
+	}
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060") and
+// returns the bound address, so addr may use port 0. stats, if non-nil,
+// is polled on every /debug/vars request and published as the "harness"
+// expvar — Inflight is a live gauge, so watching it shows sweep
+// progress without touching the output files. The server runs until the
+// process exits.
+func Serve(addr string, stats func() harness.Stats) (string, error) {
+	if stats != nil {
+		publish("harness", expvar.Func(func() any { return stats() }))
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("diag: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}

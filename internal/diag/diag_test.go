@@ -1,0 +1,55 @@
+package diag
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dapper/internal/harness"
+)
+
+func TestServeExposesHarnessVarsAndPprof(t *testing.T) {
+	stats := harness.Stats{Submitted: 5, Unique: 4, Ran: 3, Inflight: 2}
+	addr, err := Serve("localhost:0", func() harness.Stats { return stats })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	raw, ok := vars["harness"]
+	if !ok {
+		t.Fatalf("/debug/vars missing \"harness\": %s", body)
+	}
+	var got harness.Stats
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Submitted != 5 || got.Inflight != 2 {
+		t.Fatalf("harness expvar = %+v, want the live stats", got)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(idx), "goroutine") {
+		t.Fatalf("pprof index: status %d, body %q", resp.StatusCode, idx[:min(len(idx), 120)])
+	}
+
+	// A second Serve must not panic on the duplicate expvar name.
+	if _, err := Serve("localhost:0", func() harness.Stats { return stats }); err != nil {
+		t.Fatal(err)
+	}
+}

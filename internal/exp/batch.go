@@ -64,6 +64,18 @@ func KnownTrackers() []string {
 	return out
 }
 
+// TrackerFactory resolves a flag-friendly tracker id into a
+// sim.TrackerFactory (nil for "none", which sim treats as the insecure
+// baseline), for one-shot commands like dapper-timeline that bypass
+// the sweep machinery.
+func TrackerFactory(id string, geo dram.Geometry, nrh uint32, mode rh.MitigationMode) (sim.TrackerFactory, error) {
+	build, ok := trackerBuilders[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown tracker %q (known: %v)", id, KnownTrackers())
+	}
+	return build(geo, nrh, mode).Factory, nil
+}
+
 // BatchRequest describes an arbitrary tracker x workload x NRH sweep
 // (cmd/dapper-batch). Every combination becomes one job; geometry and
 // windows follow the same attack-dependent selection the paper's
@@ -99,16 +111,17 @@ func (req BatchRequest) Jobs() ([]harness.Job, error) {
 			ts := build(geo, nrh, req.Mode)
 			for _, w := range req.Workloads {
 				s := runSpec{
-					workload: w,
-					geo:      geo,
-					nrh:      nrh,
-					tracker:  ts,
-					attack:   req.Attack,
-					benign4:  req.Attack == attack.None,
-					warmup:   warmup,
-					measure:  measure,
-					seed:     p.Seed,
-					engine:   p.Engine,
+					workload:        w,
+					geo:             geo,
+					nrh:             nrh,
+					tracker:         ts,
+					attack:          req.Attack,
+					benign4:         req.Attack == attack.None,
+					warmup:          warmup,
+					measure:         measure,
+					seed:            p.Seed,
+					engine:          p.Engine,
+					telemetryWindow: p.TelemetryWindow,
 				}
 				jobs = append(jobs, harness.Job{
 					Desc: s.descriptor(),

@@ -31,6 +31,8 @@ type mixRunSpec struct {
 	// tracker counter traffic against its ledger.
 	audit         bool
 	auditInjected bool
+	// telemetryWindow >0 attaches the in-sim windowed sampler.
+	telemetryWindow dram.Cycle
 }
 
 // descriptor returns the spec's deterministic identity. The Mix field
@@ -53,8 +55,9 @@ func (s mixRunSpec) descriptor() harness.Descriptor {
 		Warmup:   s.warmup,
 		Measure:  s.measure,
 		Seed:     s.seed,
-		Engine:   string(s.engine.OrDefault()),
-		Audit:    auditTagFor(s.audit, s.auditInjected),
+		Engine:    string(s.engine.OrDefault()),
+		Audit:     auditTagFor(s.audit, s.auditInjected),
+		Telemetry: harness.TelemetryTag(s.telemetryWindow),
 	}
 }
 
@@ -65,12 +68,13 @@ func runMix(s mixRunSpec) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	cfg := sim.Config{
-		Geometry: s.geo,
-		Traces:   traces,
-		Warmup:   s.warmup,
-		Measure:  s.measure,
-		Mode:     s.tracker.Mode,
-		Engine:   s.engine,
+		Geometry:        s.geo,
+		Traces:          traces,
+		Warmup:          s.warmup,
+		Measure:         s.measure,
+		Mode:            s.tracker.Mode,
+		Engine:          s.engine,
+		TelemetryWindow: s.telemetryWindow,
 	}
 	if s.tracker.Factory != nil {
 		cfg.Tracker = s.tracker.Factory
@@ -112,16 +116,17 @@ func MixJob(p Profile, trackerID string, spec mix.Spec, nrh uint32,
 		measure = p.Measure
 	}
 	s := mixRunSpec{
-		spec:          spec,
-		geo:           p.Geometry,
-		nrh:           nrh,
-		tracker:       build(p.Geometry, nrh, mode),
-		warmup:        p.Warmup,
-		measure:       measure,
-		seed:          p.Seed,
-		engine:        p.Engine,
-		audit:         audit,
-		auditInjected: countInjected,
+		spec:            spec,
+		geo:             p.Geometry,
+		nrh:             nrh,
+		tracker:         build(p.Geometry, nrh, mode),
+		warmup:          p.Warmup,
+		measure:         measure,
+		seed:            p.Seed,
+		engine:          p.Engine,
+		audit:           audit,
+		auditInjected:   countInjected,
+		telemetryWindow: p.TelemetryWindow,
 	}
 	return harness.Job{
 		Desc: s.descriptor(),

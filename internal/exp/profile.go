@@ -44,6 +44,12 @@ type Profile struct {
 	// profile produces (sim.EngineEvent if empty; -engine flag).
 	Engine sim.Engine
 
+	// TelemetryWindow, when >0, attaches the in-sim windowed sampler to
+	// every run this profile produces (sim.Config.TelemetryWindow); each
+	// Result then carries a Series and descriptors gain a telemetry tag,
+	// so telemetry runs never share cache entries with plain ones.
+	TelemetryWindow dram.Cycle
+
 	// hctx, when set by Generate, routes every simulation request
 	// through the harness collect/replay machinery instead of running
 	// inline. Profiles built by Quick/Full/Tiny leave it nil (serial).

@@ -42,6 +42,9 @@ type runSpec struct {
 	// additionally charges tracker counter traffic against the ledger.
 	audit         bool
 	auditInjected bool
+	// telemetryWindow >0 attaches the in-sim windowed sampler (the
+	// Result gains a Series; the descriptor gains a telemetry tag).
+	telemetryWindow dram.Cycle
 }
 
 // auditTag versions the oracle for cache keys: bump it whenever the
@@ -92,6 +95,7 @@ func (s runSpec) descriptor() harness.Descriptor {
 		Seed:         s.seed,
 		Engine:       string(s.engine.OrDefault()),
 		Audit:        s.auditDescTag(),
+		Telemetry:    harness.TelemetryTag(s.telemetryWindow),
 	}
 }
 
@@ -112,13 +116,14 @@ func run(s runSpec) (sim.Result, error) {
 		traces = append(traces, atk)
 	}
 	cfg := sim.Config{
-		Geometry: s.geo,
-		LLCBytes: s.llcBytes,
-		Traces:   traces,
-		Warmup:   s.warmup,
-		Measure:  s.measure,
-		Mode:     s.tracker.Mode,
-		Engine:   s.engine,
+		Geometry:        s.geo,
+		LLCBytes:        s.llcBytes,
+		Traces:          traces,
+		Warmup:          s.warmup,
+		Measure:         s.measure,
+		Mode:            s.tracker.Mode,
+		Engine:          s.engine,
+		TelemetryWindow: s.telemetryWindow,
 	}
 	if s.tracker.Factory != nil {
 		cfg.Tracker = s.tracker.Factory
@@ -160,6 +165,7 @@ func newRunner(p Profile) *runner {
 // from the memoized results (replay). See Generate.
 func (r *runner) exec(s runSpec) (sim.Result, error) {
 	s.engine = r.p.Engine
+	s.telemetryWindow = r.p.TelemetryWindow
 	h := r.p.hctx
 	if h == nil {
 		return run(s)

@@ -63,8 +63,25 @@ type Descriptor struct {
 	// mixes differing in a single slot from sharing a cache entry.
 	Mix string `json:"mix,omitempty"`
 
+	// Telemetry tags runs collecting the in-sim windowed series: the
+	// canonical window encoding ("w<cycles>", e.g. "w20000" for a 5µs
+	// window) when sim.Config.TelemetryWindow is set, empty otherwise.
+	// Telemetry-on Results embed a Series, so they must never alias a
+	// telemetry-off cache entry — and two different window widths must
+	// not alias each other.
+	Telemetry string `json:"telemetry,omitempty"`
+
 	// Extra disambiguates runs varied by a knob not listed above.
 	Extra string `json:"extra,omitempty"`
+}
+
+// TelemetryTag returns the canonical Descriptor.Telemetry encoding for
+// a telemetry window width ("" when telemetry is off).
+func TelemetryTag(window dram.Cycle) string {
+	if window <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("w%d", window)
 }
 
 // Key returns the content address: a hex SHA-256 over a canonical
@@ -74,11 +91,11 @@ func (d Descriptor) Key() string {
 	g := d.Geometry
 	fmt.Fprintf(h,
 		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|aparams=%s|benign4=%t|"+
-			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|audit=%s|mix=%s|extra=%s",
+			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|audit=%s|mix=%s|telemetry=%s|extra=%s",
 		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.AttackParams, d.Benign4,
 		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.RowsPerBank,
 		g.RowBytes, g.LineBytes,
-		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Audit, d.Mix, d.Extra)
+		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Audit, d.Mix, d.Telemetry, d.Extra)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

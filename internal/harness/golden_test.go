@@ -7,14 +7,44 @@ import (
 
 	"dapper/internal/dram"
 	"dapper/internal/goldentest"
+	"dapper/internal/rh"
 	"dapper/internal/secaudit"
 	"dapper/internal/sim"
+	"dapper/internal/telemetry"
 )
 
-// goldenRecords is a fixed three-record stream: a plain run, an
-// audited cache hit, and a heterogeneous mix run, covering every
-// serialized field including the embedded oracle report and the mix
-// tag.
+// goldenSeries builds a small deterministic windowed series through the
+// real Recorder, so the golden pins the exact fold arithmetic and JSON
+// shape a telemetry run produces.
+func goldenSeries() *telemetry.Series {
+	rec, err := telemetry.NewRecorder(telemetry.RecorderConfig{
+		Cores: 2, Channels: 1,
+		Window: dram.US(10), End: dram.US(35), Warmup: dram.US(5),
+	})
+	if err != nil {
+		panic(err)
+	}
+	obs := rec.Observer(0)
+	obs.ObserveACT(dram.US(2), dram.Loc{}, false)
+	obs.ObserveACT(dram.US(12), dram.Loc{}, true)
+	obs.ObserveMitigation(dram.US(13), rh.RefreshVictims, dram.Loc{}, 7)
+	obs.ObserveRefresh(dram.US(22), 0)
+	obs.ObserveBulkRefresh(dram.US(31), 0)
+	cp := rec.ControllerProbe(0)
+	cp.QueueSample(dram.US(4), 3, 1)
+	cp.QueueSample(dram.US(18), 0, 0)
+	cp.TableSample(dram.US(15), 12, 64, 0)
+	cp.TableSample(dram.US(30), 4, 64, 1)
+	rec.CoreProbe(0).CoreSegment(0, dram.US(35), uint64(dram.US(35))*2, dram.US(30))
+	rec.CoreProbe(1).CoreSegment(0, dram.US(35), 0, 0)
+	return rec.Finish()
+}
+
+// goldenRecords is a fixed four-record stream: a plain run, an
+// audited cache hit, a heterogeneous mix run, and a telemetry-tagged
+// run with an embedded windowed series — covering every serialized
+// field including the embedded oracle report, the mix tag, and the
+// series JSON.
 func goldenRecords() []Record {
 	d1 := Descriptor{
 		Tracker: "Hydra", Mode: "VRR-BR1", NRH: 500,
@@ -80,10 +110,27 @@ func goldenRecords() []Record {
 	}
 	r3.Counters.ACT = 9000
 	r3.Counters.VRR = 12
+	d4 := Descriptor{
+		Tracker: "DAPPER-S", Mode: "VRR-BR1", NRH: 500,
+		Workload: "429.mcf", Attack: "refresh",
+		Geometry: dram.Baseline(), Timing: "ddr5",
+		Warmup: dram.US(5), Measure: dram.US(30), Seed: 1,
+		Engine: "event", Telemetry: TelemetryTag(dram.US(10)),
+	}
+	r4 := sim.Result{
+		IPC:          []float64{2, 0},
+		Instructions: []uint64{240000, 0},
+		Cycles:       dram.US(30),
+		LLCHitRate:   0.25,
+		TrackerNames: []string{"DAPPER-S", "DAPPER-S"},
+		Series:       goldenSeries(),
+	}
+	r4.Counters.ACT = 2
 	return []Record{
 		{Key: d1.Key(), Desc: d1, Cached: false, Elapsed: 1234 * time.Millisecond, Result: r1},
 		{Key: d2.Key(), Desc: d2, Cached: true, Elapsed: 0, Result: r2},
 		{Key: d3.Key(), Desc: d3, Cached: false, Elapsed: 456 * time.Millisecond, Result: r3},
+		{Key: d4.Key(), Desc: d4, Cached: false, Elapsed: 789 * time.Millisecond, Result: r4},
 	}
 }
 

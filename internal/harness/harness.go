@@ -24,7 +24,11 @@
 // output is byte-identical to a serial run at any worker count.
 package harness
 
-import "runtime"
+import (
+	"runtime"
+
+	"dapper/internal/telemetry"
+)
 
 // Options configures a Pool.
 type Options struct {
@@ -40,6 +44,10 @@ type Options struct {
 	// OnProgress, if non-nil, is called after each job finishes with
 	// the number of finished and submitted unique jobs.
 	OnProgress func(done, total int)
+	// Tracer, if non-nil, records per-job spans (queue wait, execution,
+	// cache hits, sink flushes) for Chrome-trace export. Purely
+	// observational: results, ordering and caching are unaffected.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) workers() int {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dapper/internal/sim"
+	"dapper/internal/telemetry"
 )
 
 // Job is one simulation request: its deterministic identity plus the
@@ -50,11 +51,30 @@ type Stats struct {
 	Unique    int // distinct descriptor keys accepted
 	Ran       int // simulations actually executed
 	CacheHits int // results served from the cache
-	Errors    int // jobs that returned an error
+	// CacheMisses counts cache lookups that found nothing (zero when no
+	// cache is attached); CacheHits+CacheMisses is the lookup total.
+	CacheMisses int
+	// Inflight is the number of simulations executing right now — a
+	// gauge, not a counter (expvar/debug endpoints poll it live).
+	Inflight int
+	Errors   int // jobs that returned an error
 	// CacheWriteErrors counts failed memoization writes; the runs
 	// themselves still succeed.
 	CacheWriteErrors int
+	// TotalElapsed and MaxElapsed aggregate the wall-clock time of
+	// executed simulations (cache hits contribute nothing): the sweep's
+	// total compute and its longest single job.
+	TotalElapsed time.Duration
+	MaxElapsed   time.Duration
 }
+
+// Trace lane layout: workers occupy lanes [0, N); cache hits and sink
+// flushes get their own lanes above, so a Perfetto view shows one row
+// per worker plus the cache and sink activity separately.
+const (
+	laneCacheOffset = 0
+	laneSinkOffset  = 1
+)
 
 // Pool fans jobs out over a bounded set of workers, deduplicating by
 // descriptor key and consulting the cache before simulating. One pool
@@ -65,7 +85,9 @@ type Pool struct {
 	cache      *Cache
 	sinks      []Sink
 	onProgress func(done, total int)
-	sem        chan struct{}
+	tracer     *telemetry.Tracer
+	workers    int
+	slots      chan int // worker ids 0..workers-1; doubles as the semaphore
 	wg         sync.WaitGroup
 
 	// cbMu serializes completion bookkeeping + progress callback so
@@ -82,14 +104,28 @@ type Pool struct {
 
 // NewPool builds a pool from options.
 func NewPool(opts Options) *Pool {
-	return &Pool{
+	n := opts.workers()
+	p := &Pool{
 		cache:      opts.Cache,
 		sinks:      opts.Sinks,
 		onProgress: opts.OnProgress,
-		sem:        make(chan struct{}, opts.workers()),
+		tracer:     opts.Tracer,
+		workers:    n,
+		slots:      make(chan int, n),
 		futures:    make(map[string]*Future),
 		elapsed:    make(map[string]time.Duration),
 	}
+	for i := 0; i < n; i++ {
+		p.slots <- i
+	}
+	if p.tracer != nil {
+		for i := 0; i < n; i++ {
+			p.tracer.SetLaneName(i, fmt.Sprintf("worker %d", i))
+		}
+		p.tracer.SetLaneName(n+laneCacheOffset, "cache")
+		p.tracer.SetLaneName(n+laneSinkOffset, "sink")
+	}
+	return p
 }
 
 // Submit enqueues a job and returns its future. A job whose descriptor
@@ -110,24 +146,52 @@ func (p *Pool) Submit(job Job) *Future {
 	p.mu.Unlock()
 
 	p.wg.Add(1)
-	go p.execute(f, job)
+	go p.execute(f, job, time.Now())
 	return f
 }
 
-func (p *Pool) execute(f *Future, job Job) {
+func (p *Pool) execute(f *Future, job Job, submitted time.Time) {
 	defer p.wg.Done()
 	if p.cache != nil {
-		if res, ok := p.cache.Get(f.key); ok {
+		lookupStart := time.Now()
+		res, ok := p.cache.Get(f.key)
+		if ok {
 			f.res, f.cached = res, true
+			if p.tracer != nil {
+				p.tracer.Span(p.workers+laneCacheOffset, "hit "+f.desc.String(), "cache",
+					lookupStart, time.Now(), map[string]string{"key": f.key})
+			}
 			p.finish(f, nil, 0)
 			return
 		}
+		p.mu.Lock()
+		p.stats.CacheMisses++
+		p.mu.Unlock()
 	}
-	p.sem <- struct{}{} // cache hits above never occupy a worker slot
+	lane := <-p.slots // cache hits above never occupy a worker slot
+	p.mu.Lock()
+	p.stats.Inflight++
+	p.mu.Unlock()
 	start := time.Now()
 	res, err := job.Run()
-	elapsed := time.Since(start)
-	<-p.sem
+	end := time.Now()
+	p.mu.Lock()
+	p.stats.Inflight--
+	p.mu.Unlock()
+	p.slots <- lane
+	if p.tracer != nil {
+		// The queue-wait span sits on the same lane as its run span, so a
+		// worker row reads wait → run → wait → run left to right.
+		p.tracer.Span(lane, "wait "+f.desc.String(), "queue", submitted, start,
+			map[string]string{"key": f.key})
+		outcome := "ok"
+		if err != nil {
+			outcome = err.Error()
+		}
+		p.tracer.Span(lane, f.desc.String(), "run", start, end,
+			map[string]string{"key": f.key, "outcome": outcome})
+	}
+	elapsed := end.Sub(start)
 	if err == nil {
 		f.res = res
 		if p.cache != nil {
@@ -154,6 +218,12 @@ func (p *Pool) finish(f *Future, err error, elapsed time.Duration) {
 		p.stats.CacheHits++
 	default:
 		p.stats.Ran++
+	}
+	if !f.cached {
+		p.stats.TotalElapsed += elapsed
+		if elapsed > p.stats.MaxElapsed {
+			p.stats.MaxElapsed = elapsed
+		}
 	}
 	p.elapsed[f.key] = elapsed
 	p.done++
@@ -203,10 +273,15 @@ func (p *Pool) Close() error {
 			Elapsed: p.elapsed[f.key],
 			Result:  f.res,
 		}
+		flushStart := time.Now()
 		for _, s := range p.sinks {
 			if err := s.Write(rec); err != nil && first == nil {
 				first = err
 			}
+		}
+		if p.tracer != nil && len(p.sinks) > 0 {
+			p.tracer.Span(p.workers+laneSinkOffset, "flush "+f.desc.String(), "sink",
+				flushStart, time.Now(), map[string]string{"key": f.key})
 		}
 	}
 	for _, s := range p.sinks {

@@ -9,6 +9,7 @@ package mem
 import (
 	"dapper/internal/dram"
 	"dapper/internal/rh"
+	"dapper/internal/telemetry"
 )
 
 // Request is one 64B memory transaction. Cores (and trackers, for
@@ -46,7 +47,9 @@ type Controller struct {
 	tracker rh.Tracker
 	throt   rh.Throttler // non-nil if tracker throttles
 	mode    rh.MitigationMode
-	obs     rh.Observer // optional security-event tap (nil = none)
+	obs     rh.Observer               // optional security-event tap (nil = none)
+	probe   telemetry.ControllerProbe // optional telemetry tap (nil = none)
+	tblRep  rh.TableReporter          // cached tracker table-occupancy view
 
 	banks []dram.Bank
 	ranks []dram.Rank
@@ -109,6 +112,29 @@ func NewController(channel int, geo dram.Geometry, tim dram.Timing, tracker rh.T
 // before the first Tick so the observed stream is complete.
 func (c *Controller) SetObserver(o rh.Observer) { c.obs = o }
 
+// SetProbe attaches a telemetry probe (nil detaches): queue-population
+// samples on every enqueue/dequeue, and — when the tracker implements
+// rh.TableReporter — a table-occupancy sample after each periodic
+// tracker tick. Like the observer, the probe is purely passive and
+// costs one nil check per event when detached. Attach before the first
+// Tick so the sampled stream is complete.
+func (c *Controller) SetProbe(p telemetry.ControllerProbe) {
+	c.probe = p
+	c.tblRep = nil
+	if p != nil {
+		if tr, ok := c.tracker.(rh.TableReporter); ok {
+			c.tblRep = tr
+		}
+	}
+}
+
+// sampleQueue reports the post-change queue population to the probe.
+func (c *Controller) sampleQueue(now dram.Cycle) {
+	if c.probe != nil {
+		c.probe.QueueSample(now, len(c.queue), len(c.injected))
+	}
+}
+
 // Counters returns the DRAM event counters.
 func (c *Controller) Counters() dram.Counters { return c.counters }
 
@@ -131,6 +157,7 @@ func (c *Controller) Enqueue(r *Request, now dram.Cycle) bool {
 		c.injected = append(c.injected, r)
 		c.resetConsider(now + 1)
 		c.version++
+		c.sampleQueue(now)
 		return true
 	}
 	if len(c.queue) >= c.queueCap {
@@ -141,6 +168,7 @@ func (c *Controller) Enqueue(r *Request, now dram.Cycle) bool {
 	c.queue = append(c.queue, r)
 	c.resetConsider(now + 1)
 	c.version++
+	c.sampleQueue(now)
 	return true
 }
 
@@ -214,6 +242,10 @@ func (c *Controller) refreshTick(now dram.Cycle) {
 		c.actBuf = c.tracker.Tick(at, c.actBuf[:0])
 		c.applyActions(at, c.actBuf)
 		c.nextTrackerTick += c.tim.TREFI
+		if c.tblRep != nil {
+			occ := c.tblRep.TableOccupancy()
+			c.probe.TableSample(at, occ.Used, occ.Capacity, occ.Resets)
+		}
 	}
 }
 
@@ -300,11 +332,13 @@ func (c *Controller) trySchedule(now dram.Cycle) bool {
 	if r := c.pick(c.injected, now); r != nil {
 		c.service(r, now)
 		c.removeInjected(r)
+		c.sampleQueue(now)
 		return true
 	}
 	if r := c.pick(c.queue, now); r != nil {
 		c.service(r, now)
 		c.removeQueued(r)
+		c.sampleQueue(now)
 		return true
 	}
 	return false

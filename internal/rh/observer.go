@@ -36,3 +36,49 @@ type Observer interface {
 	// one call per rank).
 	ObserveBulkRefresh(now dram.Cycle, rank int)
 }
+
+// Tee fans one channel's event stream out to several observers, called
+// in argument order. Nil members are dropped; Tee returns nil when none
+// remain and the sole member itself when only one does, so callers can
+// compose optional taps unconditionally.
+func Tee(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return tee(live)
+}
+
+type tee []Observer
+
+func (t tee) ObserveACT(now dram.Cycle, loc dram.Loc, injected bool) {
+	for _, o := range t {
+		o.ObserveACT(now, loc, injected)
+	}
+}
+
+func (t tee) ObserveMitigation(now dram.Cycle, kind ActionKind, loc dram.Loc, row uint32) {
+	for _, o := range t {
+		o.ObserveMitigation(now, kind, loc, row)
+	}
+}
+
+func (t tee) ObserveRefresh(now dram.Cycle, rank int) {
+	for _, o := range t {
+		o.ObserveRefresh(now, rank)
+	}
+}
+
+func (t tee) ObserveBulkRefresh(now dram.Cycle, rank int) {
+	for _, o := range t {
+		o.ObserveBulkRefresh(now, rank)
+	}
+}

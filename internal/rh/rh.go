@@ -186,6 +186,31 @@ type TimingTaxer interface {
 	ActTax() dram.Cycle
 }
 
+// TableOccupancy is a point-in-time snapshot of a tracker's counting
+// structure, for telemetry: how full the bounded table is and how many
+// times it has been reset (epoch rollovers, early resets, bulk sweeps —
+// whatever "reset" means for the design).
+type TableOccupancy struct {
+	// Used is the number of live entries (rows/groups currently tracked,
+	// non-zero counters — the design's natural notion of occupancy).
+	Used int
+	// Capacity is the structure's bound; Used/Capacity is the pressure a
+	// performance attack drives toward 1.
+	Capacity int
+	// Resets counts structure resets so far (monotone non-decreasing).
+	Resets uint64
+}
+
+// TableReporter is an optional Tracker extension for designs with a
+// bounded counting table worth watching under attack (CoMeT's RAT,
+// Hydra's RCC, DAPPER's group counters). TableOccupancy must be a pure
+// query; the telemetry layer polls it on the tracker's tick cadence and
+// only when a probe is attached, so implementations may do O(table)
+// work.
+type TableReporter interface {
+	TableOccupancy() TableOccupancy
+}
+
 // Nop is the insecure baseline: it tracks nothing and never mitigates.
 type Nop struct{ stats Stats }
 

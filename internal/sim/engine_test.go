@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -120,6 +122,58 @@ func TestEngineEquivalence(t *testing.T) {
 			got := MustRun(ev)
 			if !reflect.DeepEqual(want, got) {
 				t.Fatalf("engines diverge:\n cycle: %+v\n event: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceTelemetry extends the equivalence matrix to the
+// windowed telemetry: Result.Series must be byte-identical between the
+// cycle and event engines and across reruns, and switching telemetry on
+// must not perturb any other Result field. Byte comparison (not
+// DeepEqual) is deliberate — the serialized series is what sinks cache
+// and goldens pin.
+func TestEngineEquivalenceTelemetry(t *testing.T) {
+	g := dram.Baseline()
+	for _, sc := range engineScenarios(g) {
+		t.Run(sc.name, func(t *testing.T) {
+			mk := func(e Engine, window dram.Cycle) Config {
+				cfg := scenarioConfig(t, g, sc)
+				cfg.Engine = e
+				cfg.TelemetryWindow = window
+				return cfg
+			}
+			want := MustRun(mk(EngineCycle, dram.US(5)))
+			got := MustRun(mk(EngineEvent, dram.US(5)))
+			if want.Series == nil || got.Series == nil {
+				t.Fatal("TelemetryWindow set but Series missing")
+			}
+			wantJSON, err := json.Marshal(want.Series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(got.Series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Fatalf("Series diverges between engines:\n cycle: %s\n event: %s", wantJSON, gotJSON)
+			}
+			rerun := MustRun(mk(EngineEvent, dram.US(5)))
+			rerunJSON, _ := json.Marshal(rerun.Series)
+			if !bytes.Equal(gotJSON, rerunJSON) {
+				t.Fatal("Series differs across reruns of the same config")
+			}
+			// Telemetry must be purely additive: all other fields match a
+			// telemetry-off run exactly.
+			off := MustRun(mk(EngineEvent, 0))
+			if off.Series != nil {
+				t.Fatal("Series present with telemetry off")
+			}
+			onStripped := got
+			onStripped.Series = nil
+			if !reflect.DeepEqual(off, onStripped) {
+				t.Fatalf("telemetry perturbed the Result:\n off: %+v\n on:  %+v", off, onStripped)
 			}
 		})
 	}

@@ -14,6 +14,7 @@ import (
 	"dapper/internal/mem"
 	"dapper/internal/rh"
 	"dapper/internal/secaudit"
+	"dapper/internal/telemetry"
 )
 
 // TrackerFactory builds one tracker per channel (trackers are
@@ -90,6 +91,14 @@ type Config struct {
 	// passive: attaching an observer never changes the Result's other
 	// fields, and the observed stream is identical under both engines.
 	Observer ObserverFactory
+	// TelemetryWindow, when positive, turns on the cycle-windowed
+	// telemetry sampler: Result.Series carries per-window time-series
+	// (IPC, stall fraction, ACT and mitigation rates, queue and tracker
+	// table occupancy) folded at this window width. Zero (the default)
+	// disables collection entirely — no probes attach, and the only cost
+	// on any hot path is a nil check. The fold is exact under time-skip,
+	// so the Series is byte-identical across engines and reruns.
+	TelemetryWindow dram.Cycle
 }
 
 // withDefaults fills zero fields with Table I values.
@@ -137,6 +146,11 @@ type Result struct {
 	// was audited (exp attaches it after Run; nil otherwise). It rides
 	// in the Result so harness caching and sinks see one record per run.
 	Audit *secaudit.Report `json:"Audit,omitempty"`
+	// Series carries the cycle-windowed telemetry when
+	// Config.TelemetryWindow was set (nil otherwise). Unlike every other
+	// field it covers the whole run including warmup — dynamics are the
+	// point — with the warmup boundary recorded inside.
+	Series *telemetry.Series `json:"Series,omitempty"`
 }
 
 // Run executes the simulation.
@@ -153,6 +167,22 @@ func Run(cfg Config) (Result, error) {
 	}
 	if len(cfg.Traces) == 0 {
 		return Result{}, fmt.Errorf("sim: no traces")
+	}
+	end := cfg.Warmup + cfg.Measure
+
+	var rec *telemetry.Recorder
+	if cfg.TelemetryWindow > 0 {
+		var err error
+		rec, err = telemetry.NewRecorder(telemetry.RecorderConfig{
+			Cores:    len(cfg.Traces),
+			Channels: cfg.Geometry.Channels,
+			Window:   cfg.TelemetryWindow,
+			End:      end,
+			Warmup:   cfg.Warmup,
+		})
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	trackers := make([]rh.Tracker, cfg.Geometry.Channels)
@@ -174,8 +204,16 @@ func Run(cfg Config) (Result, error) {
 	controllers := make([]*mem.Controller, cfg.Geometry.Channels)
 	for ch := range controllers {
 		controllers[ch] = mem.NewController(ch, cfg.Geometry, timing, trackers[ch], cfg.Mode)
+		var obs rh.Observer
 		if cfg.Observer != nil {
-			controllers[ch].SetObserver(cfg.Observer(ch))
+			obs = cfg.Observer(ch)
+		}
+		if rec != nil {
+			obs = rh.Tee(obs, rec.Observer(ch))
+			controllers[ch].SetProbe(rec.ControllerProbe(ch))
+		}
+		if obs != nil {
+			controllers[ch].SetObserver(obs)
 		}
 	}
 
@@ -193,10 +231,12 @@ func Run(cfg Config) (Result, error) {
 	cores := make([]*cpu.Core, len(cfg.Traces))
 	for i, tr := range cfg.Traces {
 		cores[i] = cpu.New(i, tr, hier)
+		if rec != nil {
+			cores[i].SetProbe(rec.CoreProbe(i))
+		}
 	}
 
 	var base snapshots
-	end := cfg.Warmup + cfg.Measure
 	if cfg.Engine == EngineCycle {
 		for now := dram.Cycle(0); now < end; now++ {
 			for _, c := range controllers {
@@ -233,7 +273,52 @@ func Run(cfg Config) (Result, error) {
 	for _, t := range trackers {
 		res.TrackerNames = append(res.TrackerNames, t.Name())
 	}
+	if rec != nil {
+		series := rec.Finish()
+		if err := series.Validate(); err != nil {
+			return Result{}, err
+		}
+		if err := checkConservation(series, final, cores); err != nil {
+			return Result{}, err
+		}
+		res.Series = series
+	}
 	return res, nil
+}
+
+// checkConservation cross-checks the telemetry fold's grand totals
+// against the simulator's own end-of-run counters. Every DRAM counter
+// increment corresponds to exactly one observed telemetry event
+// regardless of timestamp, so the equalities are exact; any mismatch
+// means the fold dropped or duplicated an event and fails the run.
+func checkConservation(s *telemetry.Series, final snapshots, cores []*cpu.Core) error {
+	type check struct {
+		name      string
+		got, want uint64
+	}
+	var retired, stalls uint64
+	for _, c := range cores {
+		retired += c.Retired()
+		stalls += c.StallCycles()
+	}
+	t := s.Totals
+	checks := []check{
+		{"ACT", t.DemandACT + t.InjACT, final.counters.ACT},
+		{"VRR", t.VRR, final.counters.VRR},
+		{"RFMsb", t.RFMsb, final.counters.RFMsb},
+		{"DRFMsb", t.DRFMsb, final.counters.DRFMsb},
+		{"bulk", t.Bulk, final.counters.BulkEvents},
+		{"REF", t.REF, final.counters.REF},
+		{"retired", t.Retired, retired},
+		{"stalls", t.Stalls, stalls},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			return fmt.Errorf("sim: telemetry conservation violated: %s series total %d != counter %d",
+				c.name, c.got, c.want)
+		}
+	}
+	return nil
 }
 
 // runEvent is the event-driven loop: each component is processed only

@@ -1,0 +1,348 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+)
+
+// MaxWindows bounds the windowed-series footprint: a run asking for
+// more windows than this is a configuration error (pick a larger
+// window), not something to silently truncate.
+const MaxWindows = 1 << 23
+
+// RecorderConfig sizes a Recorder for one run.
+type RecorderConfig struct {
+	Cores    int
+	Channels int
+	// Window is the fold width in DRAM cycles (must be positive).
+	Window dram.Cycle
+	// End is the run length in cycles (warmup + measure); windows are
+	// anchored at cycle 0 and cover [0, End).
+	End dram.Cycle
+	// Warmup is recorded into the Series so consumers can slice off the
+	// transient; it does not affect the fold.
+	Warmup dram.Cycle
+}
+
+// Recorder folds the in-sim event stream into a windowed Series. It is
+// wired per component: Observer(ch) and ControllerProbe(ch) attach to
+// channel ch's memory controller, CoreProbe(i) to core i. All methods
+// are single-threaded (the simulator is), and every fold is plain cycle
+// arithmetic on event timestamps — no wall clock, no sampling — so the
+// result depends only on the event stream, which both engines emit
+// identically.
+type Recorder struct {
+	cfg  RecorderConfig
+	nWin int
+
+	cores    []coreAcc
+	channels []chanAcc
+	totals   Totals
+
+	finished bool
+}
+
+type coreAcc struct {
+	retired []uint64
+	stalls  []uint64
+}
+
+type chanAcc struct {
+	demandACT []uint64
+	injACT    []uint64
+	vrr       []uint64
+	rfmsb     []uint64
+	drfmsb    []uint64
+	bulk      []uint64
+	ref       []uint64
+
+	queueOcc    []uint64
+	injQueueOcc []uint64
+	// Queue integrator state: occupancy is piecewise constant between
+	// samples, integrated lazily up to each sample's (monotonically
+	// clamped) timestamp.
+	occAt       dram.Cycle
+	demandLevel int
+	injLevel    int
+
+	// Table samples: last sample per window, forward-filled at Finish.
+	hasTable    bool
+	tableSeen   []bool
+	tableUsed   []int
+	tableResets []uint64
+	tableCap    int
+}
+
+// NewRecorder builds a Recorder; it fails if the window grid would be
+// degenerate or oversized.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("telemetry: window must be positive, got %d", cfg.Window)
+	}
+	if cfg.End <= 0 {
+		return nil, fmt.Errorf("telemetry: run length must be positive, got %d", cfg.End)
+	}
+	if cfg.Cores <= 0 || cfg.Channels <= 0 {
+		return nil, fmt.Errorf("telemetry: need at least one core and channel (%d, %d)", cfg.Cores, cfg.Channels)
+	}
+	nWin := (cfg.End + cfg.Window - 1) / cfg.Window
+	if nWin > MaxWindows {
+		return nil, fmt.Errorf("telemetry: window %d yields %d windows over %d cycles (max %d); use a larger window",
+			cfg.Window, nWin, cfg.End, MaxWindows)
+	}
+	r := &Recorder{cfg: cfg, nWin: int(nWin)}
+	r.cores = make([]coreAcc, cfg.Cores)
+	for i := range r.cores {
+		r.cores[i] = coreAcc{
+			retired: make([]uint64, nWin),
+			stalls:  make([]uint64, nWin),
+		}
+	}
+	r.channels = make([]chanAcc, cfg.Channels)
+	for i := range r.channels {
+		r.channels[i] = chanAcc{
+			demandACT:   make([]uint64, nWin),
+			injACT:      make([]uint64, nWin),
+			vrr:         make([]uint64, nWin),
+			rfmsb:       make([]uint64, nWin),
+			drfmsb:      make([]uint64, nWin),
+			bulk:        make([]uint64, nWin),
+			ref:         make([]uint64, nWin),
+			queueOcc:    make([]uint64, nWin),
+			injQueueOcc: make([]uint64, nWin),
+			tableSeen:   make([]bool, nWin),
+			tableUsed:   make([]int, nWin),
+			tableResets: make([]uint64, nWin),
+		}
+	}
+	return r, nil
+}
+
+// windowOf maps an event timestamp to its window, clamping timestamps
+// outside [0, End) into the boundary windows: commands can carry issue
+// cycles slightly past the run end (in-flight at cutoff) and belong to
+// the final window by construction.
+func (r *Recorder) windowOf(t dram.Cycle) int {
+	if t < 0 {
+		return 0
+	}
+	if t >= r.cfg.End {
+		return r.nWin - 1
+	}
+	return int(t / r.cfg.Window)
+}
+
+// addOcc integrates a constant queue level over [from, to), splitting
+// the span across the windows it straddles.
+func (r *Recorder) addOcc(dst []uint64, from, to dram.Cycle, level int) {
+	if level == 0 || from >= to {
+		return
+	}
+	for t := from; t < to; {
+		w := int(t / r.cfg.Window)
+		end := (dram.Cycle(w) + 1) * r.cfg.Window
+		if end > to {
+			end = to
+		}
+		dst[w] += uint64(level) * uint64(end-t)
+		t = end
+	}
+}
+
+// catchUpOcc advances channel ch's queue integrator to cycle t (clamped
+// monotone and into [., End]).
+func (r *Recorder) catchUpOcc(c *chanAcc, t dram.Cycle) {
+	if t > r.cfg.End {
+		t = r.cfg.End
+	}
+	if t <= c.occAt {
+		return
+	}
+	r.addOcc(c.queueOcc, c.occAt, t, c.demandLevel)
+	r.addOcc(c.injQueueOcc, c.occAt, t, c.injLevel)
+	c.occAt = t
+}
+
+// --- rh.Observer wiring ---
+
+type chanObserver struct {
+	r  *Recorder
+	ch int
+}
+
+// Observer returns the rh.Observer tap folding channel ch's activation,
+// mitigation and refresh stream into the Series. Compose it with other
+// observers (e.g. the security oracle) via rh.Tee.
+func (r *Recorder) Observer(ch int) rh.Observer { return &chanObserver{r: r, ch: ch} }
+
+func (o *chanObserver) ObserveACT(now dram.Cycle, loc dram.Loc, injected bool) {
+	c := &o.r.channels[o.ch]
+	w := o.r.windowOf(now)
+	if injected {
+		c.injACT[w]++
+		o.r.totals.InjACT++
+	} else {
+		c.demandACT[w]++
+		o.r.totals.DemandACT++
+	}
+}
+
+func (o *chanObserver) ObserveMitigation(now dram.Cycle, kind rh.ActionKind, loc dram.Loc, row uint32) {
+	c := &o.r.channels[o.ch]
+	w := o.r.windowOf(now)
+	switch kind {
+	case rh.RefreshVictimsRFMsb:
+		c.rfmsb[w]++
+		o.r.totals.RFMsb++
+	case rh.RefreshVictimsDRFMsb:
+		c.drfmsb[w]++
+		o.r.totals.DRFMsb++
+	default:
+		c.vrr[w]++
+		o.r.totals.VRR++
+	}
+}
+
+func (o *chanObserver) ObserveRefresh(now dram.Cycle, rank int) {
+	o.r.channels[o.ch].ref[o.r.windowOf(now)]++
+	o.r.totals.REF++
+}
+
+func (o *chanObserver) ObserveBulkRefresh(now dram.Cycle, rank int) {
+	o.r.channels[o.ch].bulk[o.r.windowOf(now)]++
+	o.r.totals.Bulk++
+}
+
+// --- ControllerProbe wiring ---
+
+type ctrlProbe struct {
+	r  *Recorder
+	ch int
+}
+
+// ControllerProbe returns the probe folding channel ch's queue and
+// tracker-table samples.
+func (r *Recorder) ControllerProbe(ch int) ControllerProbe { return &ctrlProbe{r: r, ch: ch} }
+
+func (p *ctrlProbe) QueueSample(now dram.Cycle, demand, injected int) {
+	c := &p.r.channels[p.ch]
+	p.r.catchUpOcc(c, now)
+	c.demandLevel, c.injLevel = demand, injected
+}
+
+func (p *ctrlProbe) TableSample(now dram.Cycle, used, capacity int, resets uint64) {
+	c := &p.r.channels[p.ch]
+	w := p.r.windowOf(now)
+	c.hasTable = true
+	c.tableSeen[w] = true
+	c.tableUsed[w] = used
+	c.tableResets[w] = resets
+	c.tableCap = capacity
+}
+
+// --- CoreProbe wiring ---
+
+type coreProbe struct {
+	r    *Recorder
+	core int
+}
+
+// CoreProbe returns the probe folding core i's retirement segments.
+func (r *Recorder) CoreProbe(core int) CoreProbe { return &coreProbe{r: r, core: core} }
+
+func (p *coreProbe) CoreSegment(from, to dram.Cycle, retired uint64, dispCycles dram.Cycle) {
+	if from >= to {
+		return
+	}
+	c := &p.r.cores[p.core]
+	span := uint64(to - from)
+	perCycle := retired / span // contract: uniform, exactly divisible
+	stallFrom := from + dispCycles
+	for t := from; t < to; {
+		w := p.r.windowOf(t)
+		end := (dram.Cycle(w) + 1) * p.r.cfg.Window
+		if end > to {
+			end = to
+		}
+		cycles := end - t
+		c.retired[w] += perCycle * uint64(cycles)
+		// Stalled cycles in this chunk: the overlap of [stallFrom, to)
+		// with [t, end).
+		sFrom := t
+		if stallFrom > sFrom {
+			sFrom = stallFrom
+		}
+		if end > sFrom {
+			c.stalls[w] += uint64(end - sFrom)
+		}
+		t = end
+	}
+	p.r.totals.Retired += retired
+	p.r.totals.Stalls += uint64((to - from) - dispCycles)
+}
+
+// Totals returns the grand totals accumulated so far (the conservation
+// oracle sim.Run checks against the DRAM counters).
+func (r *Recorder) Totals() Totals { return r.totals }
+
+// Finish closes all integrators at the run end and assembles the
+// Series. Call exactly once, after the last event.
+func (r *Recorder) Finish() *Series {
+	if r.finished {
+		panic("telemetry: Recorder.Finish called twice")
+	}
+	r.finished = true
+
+	s := &Series{
+		Window: r.cfg.Window,
+		Cycles: r.cfg.End,
+		Warmup: r.cfg.Warmup,
+		Totals: r.totals,
+	}
+	s.Cores = make([]CoreSeries, len(r.cores))
+	for i := range r.cores {
+		c := &r.cores[i]
+		ipc := make([]float64, r.nWin)
+		for w := range ipc {
+			ipc[w] = float64(c.retired[w]) / float64(s.WindowLen(w))
+		}
+		s.Cores[i] = CoreSeries{Retired: c.retired, Stalls: c.stalls, IPC: ipc}
+	}
+	s.Channels = make([]ChannelSeries, len(r.channels))
+	for i := range r.channels {
+		c := &r.channels[i]
+		r.catchUpOcc(c, r.cfg.End)
+		cs := ChannelSeries{
+			DemandACT:         c.demandACT,
+			InjACT:            c.injACT,
+			VRR:               c.vrr,
+			RFMsb:             c.rfmsb,
+			DRFMsb:            c.drfmsb,
+			Bulk:              c.bulk,
+			REF:               c.ref,
+			QueueOccCycles:    c.queueOcc,
+			InjQueueOccCycles: c.injQueueOcc,
+		}
+		if c.hasTable {
+			// Forward-fill: each window reports the last sample at or
+			// before it; windows before the first sample report -1.
+			used, resets := -1, uint64(0)
+			filledUsed := make([]int, r.nWin)
+			filledResets := make([]uint64, r.nWin)
+			for w := 0; w < r.nWin; w++ {
+				if c.tableSeen[w] {
+					used, resets = c.tableUsed[w], c.tableResets[w]
+				}
+				filledUsed[w] = used
+				filledResets[w] = resets
+			}
+			cs.TableUsed = filledUsed
+			cs.TableResets = filledResets
+			cs.TableCap = c.tableCap
+		}
+		s.Channels[i] = cs
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// windowRow is the JSONL rendering of one window: everything a plotting
+// script needs for one x-axis point, self-contained per line.
+type windowRow struct {
+	Window int        `json:"window"`
+	Start  int64      `json:"start"`
+	End    int64      `json:"end"`
+	Cores  []coreCell `json:"cores"`
+	Chans  []chanCell `json:"channels"`
+}
+
+type coreCell struct {
+	IPC       float64 `json:"ipc"`
+	Retired   uint64  `json:"retired"`
+	StallFrac float64 `json:"stall_frac"`
+}
+
+type chanCell struct {
+	DemandACT uint64 `json:"demand_act"`
+	InjACT    uint64 `json:"inj_act"`
+	VRR       uint64 `json:"vrr"`
+	RFMsb     uint64 `json:"rfmsb"`
+	DRFMsb    uint64 `json:"drfmsb"`
+	Bulk      uint64 `json:"bulk"`
+	REF       uint64 `json:"ref"`
+	// QueueOcc is the mean demand-queue depth over the window
+	// (occupancy cycle-integral / window length); InjQueueOcc likewise
+	// for injected counter traffic.
+	QueueOcc    float64 `json:"queue_occ"`
+	InjQueueOcc float64 `json:"inj_queue_occ"`
+	// TableUsed/TableResets are only present for trackers that report
+	// table occupancy (-1 used = not yet sampled).
+	TableUsed   *int    `json:"table_used,omitempty"`
+	TableResets *uint64 `json:"table_resets,omitempty"`
+}
+
+func (s *Series) row(w int) windowRow {
+	wl := float64(s.WindowLen(w))
+	r := windowRow{
+		Window: w,
+		Start:  int64(s.WindowStart(w)),
+		End:    int64(s.WindowStart(w) + s.WindowLen(w)),
+	}
+	for _, c := range s.Cores {
+		r.Cores = append(r.Cores, coreCell{
+			IPC:       c.IPC[w],
+			Retired:   c.Retired[w],
+			StallFrac: float64(c.Stalls[w]) / wl,
+		})
+	}
+	for _, ch := range s.Channels {
+		cell := chanCell{
+			DemandACT: ch.DemandACT[w], InjACT: ch.InjACT[w],
+			VRR: ch.VRR[w], RFMsb: ch.RFMsb[w], DRFMsb: ch.DRFMsb[w],
+			Bulk: ch.Bulk[w], REF: ch.REF[w],
+			QueueOcc:    float64(ch.QueueOccCycles[w]) / wl,
+			InjQueueOcc: float64(ch.InjQueueOccCycles[w]) / wl,
+		}
+		if ch.TableUsed != nil {
+			u, n := ch.TableUsed[w], ch.TableResets[w]
+			cell.TableUsed, cell.TableResets = &u, &n
+		}
+		r.Chans = append(r.Chans, cell)
+	}
+	return r
+}
+
+// WriteSeriesJSONL renders the series one window per line; every line
+// is self-contained, so `jq` and plotting scripts can stream it.
+func WriteSeriesJSONL(w io.Writer, s *Series) error {
+	enc := json.NewEncoder(w)
+	for i := 0; i < s.NumWindows(); i++ {
+		if err := enc.Encode(s.row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV renders the series as one CSV row per window with
+// per-core and per-channel columns (core0_ipc, ch0_vrr, ...), the shape
+// spreadsheet plots want.
+func WriteSeriesCSV(w io.Writer, s *Series) error {
+	cw := csv.NewWriter(w)
+	hdr := []string{"window", "start", "end"}
+	for i := range s.Cores {
+		hdr = append(hdr,
+			fmt.Sprintf("core%d_ipc", i),
+			fmt.Sprintf("core%d_retired", i),
+			fmt.Sprintf("core%d_stall_frac", i))
+	}
+	for i, ch := range s.Channels {
+		hdr = append(hdr,
+			fmt.Sprintf("ch%d_demand_act", i), fmt.Sprintf("ch%d_inj_act", i),
+			fmt.Sprintf("ch%d_vrr", i), fmt.Sprintf("ch%d_rfmsb", i),
+			fmt.Sprintf("ch%d_drfmsb", i), fmt.Sprintf("ch%d_bulk", i),
+			fmt.Sprintf("ch%d_ref", i), fmt.Sprintf("ch%d_queue_occ", i),
+			fmt.Sprintf("ch%d_inj_queue_occ", i))
+		if ch.TableUsed != nil {
+			hdr = append(hdr,
+				fmt.Sprintf("ch%d_table_used", i), fmt.Sprintf("ch%d_table_resets", i))
+		}
+	}
+	if err := cw.Write(hdr); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for i := 0; i < s.NumWindows(); i++ {
+		r := s.row(i)
+		rec := []string{strconv.Itoa(i), strconv.FormatInt(r.Start, 10), strconv.FormatInt(r.End, 10)}
+		for _, c := range r.Cores {
+			rec = append(rec, f(c.IPC), u(c.Retired), f(c.StallFrac))
+		}
+		for _, ch := range r.Chans {
+			rec = append(rec, u(ch.DemandACT), u(ch.InjACT), u(ch.VRR), u(ch.RFMsb),
+				u(ch.DRFMsb), u(ch.Bulk), u(ch.REF), f(ch.QueueOcc), f(ch.InjQueueOcc))
+			if ch.TableUsed != nil {
+				rec = append(rec, strconv.Itoa(*ch.TableUsed), u(*ch.TableResets))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

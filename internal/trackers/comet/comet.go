@@ -237,6 +237,17 @@ func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 // Stats implements rh.Tracker.
 func (t *Tracker) Stats() rh.Stats { return t.stats }
 
+// TableOccupancy implements rh.TableReporter: the Recent Aggressor
+// Table's fill level, with both early (attack-triggered) and periodic
+// resets counted.
+func (t *Tracker) TableOccupancy() rh.TableOccupancy {
+	return rh.TableOccupancy{
+		Used:     len(t.rat),
+		Capacity: t.cfg.RATEntries,
+		Resets:   t.earlyRst + t.periodRst,
+	}
+}
+
 // EarlyResets returns attack-triggered reset count (observability).
 func (t *Tracker) EarlyResets() uint64 { return t.earlyRst }
 

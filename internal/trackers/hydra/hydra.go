@@ -62,6 +62,7 @@ type Tracker struct {
 	ranks   []rankState
 	nextRst dram.Cycle
 	stats   rh.Stats
+	resets  uint64 // tREFW structure clears (telemetry)
 }
 
 type rankState struct {
@@ -165,6 +166,7 @@ func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 		return buf
 	}
 	t.nextRst += t.cfg.ResetWindow
+	t.resets++
 	for r := range t.ranks {
 		rk := &t.ranks[r]
 		for i := range rk.gct {
@@ -178,6 +180,18 @@ func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 
 // Stats implements rh.Tracker.
 func (t *Tracker) Stats() rh.Stats { return t.stats }
+
+// TableOccupancy implements rh.TableReporter: the Row Counter Cache's
+// fill level across ranks (the structure the Perf-Attack thrashes),
+// with tREFW structure clears as resets.
+func (t *Tracker) TableOccupancy() rh.TableOccupancy {
+	occ := rh.TableOccupancy{Resets: t.resets}
+	for r := range t.ranks {
+		occ.Used += t.ranks[r].rcc.Occupancy()
+		occ.Capacity += t.cfg.RCCEntries
+	}
+	return occ
+}
 
 // RCCHitRate reports the row-counter-cache hit rate (observability for
 // the Perf-Attack experiments).
