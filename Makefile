@@ -1,14 +1,29 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke telemetry-smoke bench-mix bench-smoke bench-compare bench-check adversary-smoke bench-adversary ci
+.PHONY: all build vet lint test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke telemetry-smoke bench-mix bench-smoke bench-compare bench-check adversary-smoke bench-adversary ci
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static contracts (internal/analysis): nodeterm,
+# maporder, descriptorsync and hotpath, compiled into cmd/dapper-lint.
+# The binary doubles as a `go vet -vettool`. gofmt must be clean (the
+# //dapper: annotations are gofmt-stable), and govulncheck runs when
+# installed (CI installs it; the offline dev container may not have it).
+lint:
+	$(GO) build -o bin/dapper-lint ./cmd/dapper-lint
+	./bin/dapper-lint ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; fi
 
 test:
 	$(GO) test ./...
@@ -100,4 +115,4 @@ adversary-smoke:
 bench-adversary:
 	$(GO) run ./cmd/dapper-adversary -tracker dapper-h -profile tiny -budget 16 -seed 1 -out adversary-bench -bench BENCH_adversary.json
 
-ci: build vet test test-race test-engine-equivalence audit-smoke mix-smoke telemetry-smoke fuzz-smoke bench-smoke bench-check adversary-smoke bench-adversary bench-mix
+ci: build vet lint test test-race test-engine-equivalence audit-smoke mix-smoke telemetry-smoke fuzz-smoke bench-smoke bench-check adversary-smoke bench-adversary bench-mix

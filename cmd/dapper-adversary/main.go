@@ -148,6 +148,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
 	}
 
+	//dapper:wallclock search throughput (cand/s) for the BENCH_adversary.json record
 	start := time.Now()
 	evals, baselines := 0, 0
 	for _, id := range trackerIDs {
@@ -190,6 +191,7 @@ func main() {
 	if err := pool.Close(); err != nil {
 		fatal(err)
 	}
+	//dapper:wallclock closes the throughput measurement started above
 	elapsed := time.Since(start)
 	st := pool.Stats()
 	if tracer != nil {
@@ -221,6 +223,7 @@ func main() {
 			Baselines: baselines,
 			Seconds:   elapsed.Seconds(), CandPerSec: float64(evals) / elapsed.Seconds(),
 			Workers: *jobs, SimulatedRuns: st.Ran, CacheHits: st.CacheHits,
+			//dapper:wallclock benchmark records are timestamped provenance, never cache-keyed
 			Timestamp: time.Now().UTC().Format(time.RFC3339),
 		}
 		data, err := json.MarshalIndent(bench, "", "  ")

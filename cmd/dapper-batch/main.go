@@ -170,6 +170,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
 	}
 
+	//dapper:wallclock sweep elapsed-time for the stderr summary line only
 	start := time.Now()
 	futures := make([]*harness.Future, len(batch))
 	for i, job := range batch {
@@ -195,6 +196,7 @@ func main() {
 	fmt.Fprintln(os.Stderr)
 	fmt.Printf("%d runs (%d simulated, %d cache hits, %d deduplicated) in %.1fs on %d workers\n",
 		st.Submitted, st.Ran, st.CacheHits, st.Submitted-st.Unique,
+		//dapper:wallclock elapsed seconds printed in the run summary, not written to any sink
 		time.Since(start).Seconds(), *jobs)
 	fmt.Printf("wrote %s and %s\n",
 		filepath.Join(*outDir, "batch.jsonl"), filepath.Join(*outDir, "batch.csv"))

@@ -56,6 +56,7 @@ func timeRun(id string, engine sim.Engine) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	//dapper:wallclock this command's purpose is timing the two engines against each other
 	start := time.Now()
 	tb, err := g(benchProfile(engine))
 	if err != nil {
@@ -64,6 +65,7 @@ func timeRun(id string, engine sim.Engine) (float64, error) {
 	if len(tb.Rows) == 0 {
 		return 0, fmt.Errorf("%s produced no rows under %s engine", id, engine)
 	}
+	//dapper:wallclock closes the engine timing above
 	return time.Since(start).Seconds(), nil
 }
 
@@ -93,7 +95,8 @@ func main() {
 		EventSeconds: eventS,
 		Speedup:      cycleS / eventS,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		//dapper:wallclock benchmark records are timestamped provenance, never cache-keyed
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
 
 	if *check {

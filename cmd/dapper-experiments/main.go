@@ -100,6 +100,7 @@ func main() {
 	}
 	fmt.Printf("profile: %s (%d workloads, sweep %v)\n\n", p.Name, len(p.Workloads), p.NRHSweep)
 	for _, id := range ids {
+		//dapper:wallclock per-figure elapsed time for the stderr progress line only
 		start := time.Now()
 		tb, err := exp.Generate(id, p, pool)
 		if err != nil {
@@ -109,6 +110,7 @@ func main() {
 			pool.Close()
 			os.Exit(1)
 		}
+		//dapper:wallclock progress display on stderr, byte-exact tables go to stdout
 		fmt.Fprintf(os.Stderr, "\r%s: %.1fs\n", id, time.Since(start).Seconds())
 		tb.Fprint(os.Stdout)
 	}

@@ -165,6 +165,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
 	}
 
+	//dapper:wallclock sweep throughput (cells/s) for the BENCH_mix.json record
 	start := time.Now()
 	rows, err := exp.RunMixSweep(exp.MixRequest{
 		Trackers: trackerIDs,
@@ -181,6 +182,7 @@ func main() {
 	if err := pool.Close(); err != nil {
 		fatal(err)
 	}
+	//dapper:wallclock closes the throughput measurement started above
 	elapsed := time.Since(start)
 	fmt.Fprint(os.Stderr, "\r\033[K")
 	if tracer != nil {
@@ -296,6 +298,7 @@ func main() {
 			Profile: p.Name, Mixes: len(mixes), Cells: len(rows),
 			Seconds: elapsed.Seconds(), CellsPerSec: float64(len(rows)) / elapsed.Seconds(),
 			Workers: *jobs, SimulatedRuns: st.Ran, CacheHits: st.CacheHits,
+			//dapper:wallclock benchmark records are timestamped provenance, never cache-keyed
 			Timestamp: time.Now().UTC().Format(time.RFC3339),
 		}
 		data, err := json.MarshalIndent(bench, "", "  ")

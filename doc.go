@@ -261,6 +261,54 @@
 // recorded outside the result path and the export is sorted, so equal
 // span sets serialize identically.
 //
+// # Static contracts (internal/analysis, cmd/dapper-lint)
+//
+// Three invariants carry the whole evaluation — runs are
+// deterministic, cache keys are complete, serialized artifacts are
+// byte-stable — and each was previously enforced only by tests
+// catching violations after the fact. internal/analysis mechanizes
+// them as compile-time contracts: four project-specific analyzers on a
+// stdlib-only go/analysis-style framework (no x/tools dependency;
+// packages load through `go list -export` and type-check against the
+// build cache's export data, so the suite runs offline).
+//
+//   - nodeterm forbids wall-clock reads (time.Now/Since/...), global
+//     math/rand, environment reads and goroutine spawning inside the
+//     deterministic core packages. Packages are tiered
+//     (analysis.DapperTiers): sim core packages get the full ban — and
+//     any new package defaults there, so fresh code is born strict —
+//     while harness/cmd packages may spawn goroutines and may touch
+//     the clock or environment only under an annotation.
+//   - maporder flags `for range` over a map whose body sends, formats,
+//     hashes or appends to an outer slice — iteration order would leak
+//     into output. The collect-then-sort idiom is recognized: an
+//     append is fine when a sort.*/slices.* call on the same slice
+//     follows in the same block.
+//   - descriptorsync cross-references the fields of sim.Config,
+//     attack.Params/Pattern and mix.Spec/Slot against
+//     harness.Descriptor through a checked mapping table
+//     (analysis.DapperContract): every knob must be keyed, canonically
+//     encoded, derived or explicitly pinned, and every Descriptor
+//     field accounted for — a new sweepable knob that does not reach
+//     the cache key is a lint error, not a silent cache-aliasing bug.
+//     internal/harness's reflection backstop test mutates every field
+//     and requires Key()/Canonical() to move, so the name-level table
+//     and value-level behavior gate each other.
+//   - hotpath forbids allocation, fmt, closures and interface boxing
+//     in functions marked //dapper:hot (the telemetry probes and
+//     observer taps on the simulator's per-access paths).
+//
+// Escape hatches are annotations with mandatory one-line
+// justifications — `//dapper:wallclock <why>`, `//dapper:env <why>`,
+// `//dapper:anyorder <why>` on the offending line, function or range
+// statement; a bare annotation is itself a finding. cmd/dapper-lint
+// compiles the suite into a standalone multichecker (`make lint`, run
+// in CI next to gofmt and govulncheck) that doubles as a
+// `go vet -vettool=bin/dapper-lint ./...` unit checker, and
+// TestRepoLintClean keeps plain `go test ./...` authoritative: the
+// whole module must lint clean. The analyzers are themselves tested
+// against want-comment fixtures (internal/analysis/analysistest).
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
 package dapper

@@ -1,0 +1,162 @@
+// Package analysistest runs one analyzer over source fixtures and
+// checks its diagnostics against `// want` comments, mirroring the
+// x/tools package of the same name on the framework in
+// internal/analysis.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. A want comment sits
+// on the line the diagnostic is expected at and carries one quoted or
+// backquoted regexp per expected diagnostic:
+//
+//	start := time.Now() // want `time\.Now`
+//
+// Every diagnostic must be matched by exactly one pattern on its line
+// and every pattern must match exactly one diagnostic; anything
+// unmatched on either side fails the test. Fixture imports are
+// limited to the standard library (resolved through `go list
+// -export`, hermetically, from the build cache).
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dapper/internal/analysis"
+	"dapper/internal/analysis/load"
+)
+
+// Run applies the analyzer to each fixture package and reports
+// mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, testdata, a, pkg)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("%s: no fixture files in %s (%v)", pkg, dir, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := load.ExportData(dir, imports...)
+	if err != nil {
+		t.Fatalf("%s: resolving fixture imports: %v", pkg, err)
+	}
+	tpkg, info, terrs := load.TypeCheck(fset, pkg, files, exports)
+	if len(terrs) > 0 {
+		t.Fatalf("%s: fixture does not type-check: %v", pkg, terrs[0])
+	}
+
+	wants := parseWants(t, fset, files)
+	findings, err := analysis.RunAnalyzer(a, fset, files, tpkg, info, pkg)
+	if err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkg, err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				pkg, filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matched %q",
+				pkg, filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose
+// pattern matches.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				specs := wantRE.FindAllString(text, -1)
+				if len(specs) == 0 {
+					t.Fatalf("%s: malformed want comment (no quoted pattern): %s", pos, c.Text)
+				}
+				for _, spec := range specs {
+					var raw string
+					if strings.HasPrefix(spec, "`") {
+						raw = strings.Trim(spec, "`")
+					} else {
+						var err error
+						raw, err = strconv.Unquote(spec)
+						if err != nil {
+							t.Fatalf("%s: malformed want pattern %s: %v", pos, spec, err)
+						}
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: invalid want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}

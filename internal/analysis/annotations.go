@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //dapper: annotation family. Like //go: directives they are
+// written without a space after the slashes, which keeps gofmt from
+// reflowing them, and each must carry a one-line justification after
+// the marker — an unexplained escape hatch is itself a lint finding.
+//
+//	//dapper:wallclock progress display only; never reaches a Result
+//	//dapper:env build-tag style opt-in, logged into the report header
+//	//dapper:anyorder keys feed a commutative sum, no bytes escape
+//	//dapper:hot
+//
+// wallclock/env/anyorder suppress one finding on their own line, on
+// the line directly below them, or — when written in a function's doc
+// comment — across that whole function. hot is not a suppression: it
+// opts the annotated function into the hotpath analyzer's allocation
+// and boxing bans.
+const (
+	AnnWallclock = "wallclock"
+	AnnEnv       = "env"
+	AnnAnyorder  = "anyorder"
+	AnnHot       = "hot"
+)
+
+const annPrefix = "dapper:"
+
+// Annotation is one parsed //dapper: marker.
+type Annotation struct {
+	Kind          string // "wallclock", "env", ...
+	Justification string // text after the kind, trimmed
+	Line          int    // line the comment sits on
+}
+
+// Annotations indexes a file's //dapper: markers by line.
+type Annotations struct {
+	byLine map[int][]Annotation
+}
+
+// ParseAnnotations scans every comment in the file.
+func ParseAnnotations(fset *token.FileSet, file *ast.File) *Annotations {
+	a := &Annotations{byLine: make(map[int][]Annotation)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+annPrefix)
+			if !ok {
+				continue
+			}
+			kind, rest, _ := strings.Cut(text, " ")
+			line := fset.Position(c.Slash).Line
+			a.byLine[line] = append(a.byLine[line], Annotation{
+				Kind:          kind,
+				Justification: strings.TrimSpace(rest),
+				Line:          line,
+			})
+		}
+	}
+	return a
+}
+
+// At returns the annotations of the given kind attached to a node at
+// pos: on the same line, or on the line directly above it.
+func (a *Annotations) At(fset *token.FileSet, pos token.Pos, kind string) []Annotation {
+	line := fset.Position(pos).Line
+	var out []Annotation
+	for _, ann := range append(a.byLine[line-1], a.byLine[line]...) {
+		if ann.Kind == kind {
+			out = append(out, ann)
+		}
+	}
+	return out
+}
+
+// FuncDoc returns annotations of the given kind in a function's doc
+// comment (nil doc → none).
+func FuncDoc(fd *ast.FuncDecl, kind string) []Annotation {
+	if fd == nil || fd.Doc == nil {
+		return nil
+	}
+	var out []Annotation
+	for _, c := range fd.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//"+annPrefix)
+		if !ok {
+			continue
+		}
+		k, rest, _ := strings.Cut(text, " ")
+		if k == kind {
+			out = append(out, Annotation{Kind: k, Justification: strings.TrimSpace(rest)})
+		}
+	}
+	return out
+}
+
+// suppression looks up an escape-hatch annotation covering the node:
+// line-level first, then the enclosing function's doc comment. It
+// returns (covered, justified): covered without justified means an
+// annotation was found but its justification line is empty, which the
+// caller must report instead of honoring.
+func suppression(pass *Pass, file *ast.File, anns *Annotations, node ast.Node, kind string) (covered, justified bool) {
+	cands := anns.At(pass.Fset, node.Pos(), kind)
+	if fd := enclosingFunc(file, node); fd != nil {
+		cands = append(cands, FuncDoc(fd, kind)...)
+	}
+	for _, ann := range cands {
+		if ann.Justification != "" {
+			return true, true
+		}
+		covered = true
+	}
+	return covered, false
+}

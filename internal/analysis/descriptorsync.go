@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// FieldRule states how one knob of a watched struct reaches the
+// harness.Descriptor cache key. Exactly one of the four dispositions
+// is set.
+type FieldRule struct {
+	// Key names the Descriptor field that carries this knob directly.
+	Key string
+	// Canon names the Descriptor field that carries this knob through
+	// the owning type's Canonical() encoding (attack.Params and
+	// mix.Spec fold whole structs into one tagged string).
+	Canon string
+	// Derived explains a field that is constructed *from* other keyed
+	// knobs and therefore adds no identity of its own.
+	Derived string
+	// Fixed explains a field that never varies across runs today; the
+	// justification must say what to do before letting it vary.
+	Fixed string
+}
+
+func (r FieldRule) valid() error {
+	n := 0
+	for _, set := range []bool{r.Key != "", r.Canon != "", r.Derived != "", r.Fixed != ""} {
+		if set {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("exactly one of Key/Canon/Derived/Fixed must be set, got %d", n)
+	}
+	return nil
+}
+
+// StructContract pins the complete field set of one watched struct.
+type StructContract struct {
+	Pkg    string // import path declaring the struct
+	Name   string // struct type name
+	Fields map[string]FieldRule
+}
+
+// Contract is the full mapping table the descriptorsync analyzer
+// enforces. It is checked for internal consistency by Validate (run
+// at analyzer construction and again in the unit tests): every rule
+// must target an existing Descriptor field, and the Descriptor field
+// list must be exactly the rule targets plus DescriptorOnly.
+type Contract struct {
+	DescriptorPkg  string
+	DescriptorName string
+	// DescriptorFields is the exact expected field set of the
+	// Descriptor struct.
+	DescriptorFields []string
+	// DescriptorOnly documents Descriptor fields that have no single
+	// source field in a watched struct (run-shape knobs the experiment
+	// layer sets directly).
+	DescriptorOnly map[string]string
+	Structs        []StructContract
+}
+
+// DapperContract is the production table. THIS TABLE IS THE CONTRACT:
+// adding a field to sim.Config, attack.Params/Pattern, mix.Spec/Slot
+// or harness.Descriptor without updating it is a lint failure, which
+// is the point — the update forces the author to say where the new
+// knob lands in the cache key (and the reflection backstop in
+// internal/harness verifies the Key()/Canonical() encodings actually
+// move when each field does).
+var DapperContract = Contract{
+	DescriptorPkg:    "dapper/internal/harness",
+	DescriptorName:   "Descriptor",
+	DescriptorFields: []string{"Tracker", "Mode", "NRH", "Workload", "Attack", "Benign4", "AttackParams", "Geometry", "Timing", "LLCBytes", "Warmup", "Measure", "Seed", "Engine", "Audit", "Mix", "Telemetry", "Extra"},
+	DescriptorOnly: map[string]string{
+		"NRH":      "tracker threshold; folded into Config.Tracker's factory by exp",
+		"Workload": "selects the traces exp builds into Config.Traces",
+		"Attack":   "selects the companion trace exp builds into Config.Traces",
+		"Benign4":  "selects the 4-copy trace shape exp builds into Config.Traces",
+		"Seed":     "seeds trace generation, not a Config field",
+		"Extra":    "free-form disambiguator for knobs not yet promoted to a field",
+	},
+	Structs: []StructContract{
+		{
+			Pkg: "dapper/internal/sim", Name: "Config",
+			Fields: map[string]FieldRule{
+				"Geometry":        {Key: "Geometry"},
+				"Timing":          {Key: "Timing"},
+				"LLCBytes":        {Key: "LLCBytes"},
+				"LLCWays":         {Fixed: "Table I 16-way everywhere; key it (or fold into Extra) before letting it vary"},
+				"LLCLatency":      {Fixed: "Table I 10ns everywhere; key it (or fold into Extra) before letting it vary"},
+				"Tracker":         {Key: "Tracker"},
+				"Mode":            {Key: "Mode"},
+				"Traces":          {Derived: "built by exp from Workload/Attack/Benign4/Mix/AttackParams/Seed, all keyed"},
+				"Warmup":          {Key: "Warmup"},
+				"Measure":         {Key: "Measure"},
+				"Engine":          {Key: "Engine"},
+				"Observer":        {Key: "Audit"},
+				"TelemetryWindow": {Key: "Telemetry"},
+			},
+		},
+		{
+			Pkg: "dapper/internal/attack", Name: "Params",
+			Fields: map[string]FieldRule{
+				"Steady":       {Canon: "AttackParams"},
+				"Warm":         {Canon: "AttackParams"},
+				"WarmAccesses": {Canon: "AttackParams"},
+				"Period":       {Canon: "AttackParams"},
+			},
+		},
+		{
+			Pkg: "dapper/internal/attack", Name: "Pattern",
+			Fields: map[string]FieldRule{
+				"Rows": {Canon: "AttackParams"}, "Groups": {Canon: "AttackParams"},
+				"GroupSpan": {Canon: "AttackParams"}, "RowStride": {Canon: "AttackParams"},
+				"RowBase": {Canon: "AttackParams"}, "RowHold": {Canon: "AttackParams"},
+				"Banks": {Canon: "AttackParams"}, "Ranks": {Canon: "AttackParams"},
+				"HotFrac": {Canon: "AttackParams"}, "HotRows": {Canon: "AttackParams"},
+				"HotBase": {Canon: "AttackParams"}, "HotStride": {Canon: "AttackParams"},
+				"Bubbles": {Canon: "AttackParams"}, "CacheableFrac": {Canon: "AttackParams"},
+				"StreamBytes": {Canon: "AttackParams"},
+			},
+		},
+		{
+			Pkg: "dapper/internal/mix", Name: "Spec",
+			Fields: map[string]FieldRule{
+				"Slots": {Canon: "Mix"},
+			},
+		},
+		{
+			Pkg: "dapper/internal/mix", Name: "Slot",
+			Fields: map[string]FieldRule{
+				"Workload": {Canon: "Mix"},
+				"Attack":   {Canon: "Mix"},
+				"Params":   {Canon: "Mix"},
+			},
+		},
+	},
+}
+
+// Validate checks the table's internal consistency.
+func (c Contract) Validate() error {
+	descSet := make(map[string]bool, len(c.DescriptorFields))
+	for _, f := range c.DescriptorFields {
+		if descSet[f] {
+			return fmt.Errorf("descriptorsync: duplicate Descriptor field %q in table", f)
+		}
+		descSet[f] = true
+	}
+	targeted := make(map[string]bool)
+	for _, sc := range c.Structs {
+		for _, field := range sortedKeys(sc.Fields) {
+			rule := sc.Fields[field]
+			if err := rule.valid(); err != nil {
+				return fmt.Errorf("descriptorsync: %s.%s field %s: %v", sc.Pkg, sc.Name, field, err)
+			}
+			for _, target := range []string{rule.Key, rule.Canon} {
+				if target == "" {
+					continue
+				}
+				if !descSet[target] {
+					return fmt.Errorf("descriptorsync: %s.%s field %s targets unknown Descriptor field %q", sc.Pkg, sc.Name, field, target)
+				}
+				targeted[target] = true
+			}
+		}
+	}
+	for _, f := range sortedKeys(c.DescriptorOnly) {
+		if !descSet[f] {
+			return fmt.Errorf("descriptorsync: DescriptorOnly names unknown Descriptor field %q", f)
+		}
+		if targeted[f] {
+			return fmt.Errorf("descriptorsync: Descriptor field %q is both a rule target and DescriptorOnly", f)
+		}
+	}
+	for _, f := range c.DescriptorFields {
+		if !targeted[f] {
+			if _, ok := c.DescriptorOnly[f]; !ok {
+				return fmt.Errorf("descriptorsync: Descriptor field %q is neither a rule target nor explained in DescriptorOnly", f)
+			}
+		}
+	}
+	return nil
+}
+
+// NewDescriptorSync builds the analyzer for a contract table. The
+// table itself is validated eagerly: a malformed table turns every
+// pass into an error rather than silently checking nothing.
+func NewDescriptorSync(c Contract) *Analyzer {
+	tableErr := c.Validate()
+	a := &Analyzer{
+		Name: "descriptorsync",
+		Doc:  "cross-check sim.Config / attack.Params / mix.Spec field sets against the harness.Descriptor cache-key contract table",
+	}
+	a.Run = func(pass *Pass) error {
+		if tableErr != nil {
+			return tableErr
+		}
+		for _, sc := range c.Structs {
+			if sc.Pkg == pass.PkgPath {
+				checkStructContract(pass, sc)
+			}
+		}
+		if c.DescriptorPkg == pass.PkgPath {
+			checkDescriptorFields(pass, c)
+		}
+		return nil
+	}
+	return a
+}
+
+// structFields returns the declared field names of a named struct in
+// the package scope, with the position of the type for reporting.
+func structFields(pass *Pass, name string) (map[string]bool, types.Object, bool) {
+	obj := pass.Pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil, nil, false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, obj, false
+	}
+	fields := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i).Name()] = true
+	}
+	return fields, obj, true
+}
+
+func checkStructContract(pass *Pass, sc StructContract) {
+	fields, obj, ok := structFields(pass, sc.Name)
+	if !ok {
+		pos := pass.Files[0].Pos()
+		if obj != nil {
+			pos = obj.Pos()
+		}
+		pass.Reportf(pos, "descriptorsync contract names %s.%s, which is not a struct in this package — update the table in internal/analysis/descriptorsync.go", sc.Pkg, sc.Name)
+		return
+	}
+	for _, f := range sortedKeys(fields) {
+		if _, ok := sc.Fields[f]; !ok {
+			pass.Reportf(obj.Pos(), "knob %s.%s is not covered by the Descriptor cache-key contract: add the field to harness.Descriptor (or justify it as Derived/Fixed) and record the mapping in internal/analysis/descriptorsync.go — an unkeyed knob makes distinct runs alias one cache entry", sc.Name, f)
+		}
+	}
+	for _, f := range sortedKeys(sc.Fields) {
+		if !fields[f] {
+			pass.Reportf(obj.Pos(), "descriptorsync contract maps %s.%s, but the struct has no such field — remove the stale entry from internal/analysis/descriptorsync.go", sc.Name, f)
+		}
+	}
+}
+
+func checkDescriptorFields(pass *Pass, c Contract) {
+	fields, obj, ok := structFields(pass, c.DescriptorName)
+	if !ok {
+		pass.Reportf(pass.Files[0].Pos(), "descriptorsync contract names %s.%s, which is not a struct in this package", c.DescriptorPkg, c.DescriptorName)
+		return
+	}
+	expect := make(map[string]bool, len(c.DescriptorFields))
+	for _, f := range c.DescriptorFields {
+		expect[f] = true
+	}
+	for _, f := range sortedKeys(fields) {
+		if !expect[f] {
+			pass.Reportf(obj.Pos(), "Descriptor field %s is not in the descriptorsync contract table: record what knob it keys (and extend the reflection backstop) in internal/analysis/descriptorsync.go", f)
+		}
+	}
+	for _, f := range c.DescriptorFields {
+		if !fields[f] {
+			pass.Reportf(obj.Pos(), "descriptorsync contract expects Descriptor field %s, which no longer exists — remove or remap the table entries targeting it", f)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleTargets returns, for tests, the set of Descriptor fields the
+// table's rules target, sorted.
+func (c Contract) RuleTargets() []string {
+	set := make(map[string]bool)
+	for _, sc := range c.Structs {
+		for _, r := range sc.Fields {
+			if r.Key != "" {
+				set[r.Key] = true
+			}
+			if r.Canon != "" {
+				set[r.Canon] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// StructsIn returns the struct contracts watching a package path —
+// exported for the harness reflection test, which walks the same
+// table with reflect to prove the static and dynamic views agree.
+func (c Contract) StructsIn(pkgPath string) []StructContract {
+	var out []StructContract
+	for _, sc := range c.Structs {
+		if sc.Pkg == pkgPath {
+			out = append(out, sc)
+		}
+	}
+	return out
+}

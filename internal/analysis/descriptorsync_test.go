@@ -1,0 +1,146 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"dapper/internal/analysis"
+	"dapper/internal/analysis/analysistest"
+)
+
+// syncedContract matches the descsync fixture exactly.
+var syncedContract = analysis.Contract{
+	DescriptorPkg:    "descsync",
+	DescriptorName:   "Descriptor",
+	DescriptorFields: []string{"Knob", "Window", "Point", "Seed", "Extra"},
+	DescriptorOnly: map[string]string{
+		"Seed":  "seeds trace generation, not a Config field",
+		"Extra": "free-form disambiguator",
+	},
+	Structs: []analysis.StructContract{
+		{
+			Pkg: "descsync", Name: "Config",
+			Fields: map[string]analysis.FieldRule{
+				"Knob":    {Key: "Knob"},
+				"Window":  {Key: "Window"},
+				"Derived": {Derived: "built from Knob and Window"},
+				"Legacy":  {Fixed: "never varies; promote before sweeping it"},
+			},
+		},
+		{
+			Pkg: "descsync", Name: "Params",
+			Fields: map[string]analysis.FieldRule{
+				"Alpha": {Canon: "Point"},
+				"Beta":  {Canon: "Point"},
+			},
+		},
+	},
+}
+
+// driftedContract is internally valid; the drift is seeded in the
+// descsyncmiss fixture source (a new unmapped Config knob, a removed
+// field the table still maps, a rogue Descriptor field, a contract
+// target the Descriptor dropped).
+var driftedContract = analysis.Contract{
+	DescriptorPkg:    "descsyncmiss",
+	DescriptorName:   "Descriptor",
+	DescriptorFields: []string{"Knob", "Window", "Extra"},
+	DescriptorOnly:   map[string]string{"Extra": "free-form disambiguator"},
+	Structs: []analysis.StructContract{
+		{
+			Pkg: "descsyncmiss", Name: "Config",
+			Fields: map[string]analysis.FieldRule{
+				"Knob":    {Key: "Knob"},
+				"Removed": {Key: "Window"},
+			},
+		},
+	},
+}
+
+func TestDescriptorSyncInSync(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NewDescriptorSync(syncedContract), "descsync")
+}
+
+func TestDescriptorSyncSeededMiss(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NewDescriptorSync(driftedContract), "descsyncmiss")
+}
+
+func TestProductionContractValid(t *testing.T) {
+	if err := analysis.DapperContract.Validate(); err != nil {
+		t.Fatalf("production contract table is inconsistent: %v", err)
+	}
+	// The production table must watch the three structs the issue
+	// names, all keyed into the harness Descriptor.
+	for _, want := range []string{
+		"dapper/internal/sim", "dapper/internal/attack", "dapper/internal/mix",
+	} {
+		if len(analysis.DapperContract.StructsIn(want)) == 0 {
+			t.Errorf("production contract watches no structs in %s", want)
+		}
+	}
+	if analysis.DapperContract.DescriptorPkg != "dapper/internal/harness" {
+		t.Errorf("production contract descriptor package = %q", analysis.DapperContract.DescriptorPkg)
+	}
+}
+
+func TestContractValidateRejectsBadTables(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*analysis.Contract)
+		wantErr string
+	}{
+		{
+			"rule targets unknown descriptor field",
+			func(c *analysis.Contract) {
+				c.Structs[0].Fields["Knob"] = analysis.FieldRule{Key: "Nowhere"}
+			},
+			"unknown Descriptor field",
+		},
+		{
+			"rule with no disposition",
+			func(c *analysis.Contract) {
+				c.Structs[0].Fields["Knob"] = analysis.FieldRule{}
+			},
+			"exactly one of",
+		},
+		{
+			"rule with two dispositions",
+			func(c *analysis.Contract) {
+				c.Structs[0].Fields["Knob"] = analysis.FieldRule{Key: "Knob", Fixed: "also fixed"}
+			},
+			"exactly one of",
+		},
+		{
+			"descriptor field unaccounted",
+			func(c *analysis.Contract) {
+				c.DescriptorFields = append(c.DescriptorFields, "Orphan")
+			},
+			"neither a rule target nor explained",
+		},
+		{
+			"duplicate descriptor field",
+			func(c *analysis.Contract) {
+				c.DescriptorFields = append(c.DescriptorFields, "Knob")
+			},
+			"duplicate Descriptor field",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := analysis.Contract{
+				DescriptorPkg:    "p",
+				DescriptorName:   "Descriptor",
+				DescriptorFields: []string{"Knob"},
+				Structs: []analysis.StructContract{{
+					Pkg: "p", Name: "Config",
+					Fields: map[string]analysis.FieldRule{"Knob": {Key: "Knob"}},
+				}},
+			}
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dapper/internal/analysis"
+	"dapper/internal/analysis/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Hotpath, "hotpath")
+}

@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dapper/internal/analysis"
+	"dapper/internal/analysis/load"
+)
+
+// TestRepoLintClean runs the full production suite over the whole
+// module — the same check `make lint` gates CI on — so a contract
+// violation fails plain `go test ./...` too, with the finding text in
+// the failure. Skipped under -short (it type-checks every package).
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint skipped in -short mode")
+	}
+	pkgs, err := load.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("%s does not type-check: %v", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		for _, a := range analysis.All() {
+			findings, err := analysis.RunAnalyzer(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.PkgPath)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, f := range findings {
+				t.Errorf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package load turns Go package patterns into type-checked syntax
+// trees for the analyzers, using nothing beyond the standard library
+// and the go tool itself. It shells out to `go list -export -json
+// -deps`, which both enumerates the packages and (via the build
+// cache) produces export data for every dependency; each target
+// package is then parsed from source and type-checked with a
+// go/importer backed by those export files. This is the same division
+// of labor as x/tools/go/packages, minus the module dependency this
+// repository cannot take.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects type-check problems without aborting the whole
+	// run; analyzers only see packages with none.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list` on the patterns and type-checks every matched
+// package that belongs to the main module, skipping test files by
+// construction (GoFiles excludes them). The returned packages are in
+// `go list` order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pp := p
+		targets = append(targets, &pp)
+	}
+
+	// -deps lists dependencies too; targets are the non-standard
+	// main-module packages the patterns matched. Dependencies only
+	// contribute export data.
+	matched := matchSet(dir, patterns)
+	var pkgs []*Package
+	for _, p := range targets {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if matched != nil && !matched[p.ImportPath] {
+			continue
+		}
+		pkg, err := typeCheck(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// matchSet re-runs go list without -deps to learn exactly which
+// import paths the patterns name (so dependencies pulled in by -deps
+// are not analyzed as targets). A nil return means "no filtering".
+func matchSet(dir string, patterns []string) map[string]bool {
+	args := append([]string{"list", "-e"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+func typeCheck(p *listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: p.ImportPath, Dir: p.Dir, Fset: fset, Files: files}
+	pkg.Types, pkg.Info, pkg.TypeErrors = TypeCheck(fset, p.ImportPath, files, exports)
+	return pkg, nil
+}
+
+// TypeCheck type-checks already-parsed files against export data for
+// their imports (as produced by ExportData). Shared by the package
+// loader above and the analysistest fixture loader.
+func TypeCheck(fset *token.FileSet, pkgPath string, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, []error) {
+	var terrs []error
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil && len(terrs) == 0 {
+		terrs = append(terrs, err)
+	}
+	return tpkg, info, terrs
+}
+
+// ExportData resolves import paths (and their transitive dependencies)
+// to export-data files via `go list -export`, compiling them into the
+// build cache as needed. dir anchors module resolution.
+func ExportData(dir string, pkgs ...string) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(pkgs) == 0 {
+		return exports, nil
+	}
+	args := append([]string{"list", "-export", "-json=ImportPath,Export", "-deps"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list -export %s: %v\n%s", strings.Join(pkgs, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

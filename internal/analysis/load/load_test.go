@@ -1,0 +1,67 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadTypeChecksPackage exercises the whole pipeline on a real
+// module package: go list -export enumeration, source parsing, and
+// type-checking against export data.
+func TestLoadTypeChecksPackage(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "dapper/internal/telemetry" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files parsed")
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s analyzed; contracts bind production code only", name)
+		}
+	}
+	// Cross-package type resolution must be live: the telemetry package
+	// references dram.Cycle from an imported package.
+	if pkg.Types.Scope().Lookup("Recorder") == nil {
+		t.Error("Recorder type not found in package scope")
+	}
+}
+
+// TestLoadMatchesOnlyPatternTargets: -deps pulls in dependencies for
+// export data, but only pattern-matched packages become analysis
+// targets.
+func TestLoadMatchesOnlyPatternTargets(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if p.PkgPath != "dapper/internal/sketch" {
+			t.Errorf("unexpected target %s", p.PkgPath)
+		}
+	}
+}
+
+func TestExportDataResolvesStdlib(t *testing.T) {
+	exports, err := ExportData(".", "fmt", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fmt", "time", "io"} { // io via -deps
+		if exports[want] == "" {
+			t.Errorf("no export data for %s", want)
+		}
+	}
+}

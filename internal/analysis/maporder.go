@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maporder flags `for range` over a map whose body lets the iteration
+// order reach bytes: formatting (any fmt call — including the
+// fmt.Errorf that decides *which* validation error a caller sees),
+// serialization and hashing (Write/Encode-shaped method calls),
+// channel sends, and appends to a slice that outlives the loop.
+//
+// The sanctioned idiom is collect-then-sort: appending only the loop
+// variables to a slice is accepted when a sort.*/slices.* call on
+// that slice follows later in the same enclosing block. Sites where
+// order provably cannot leak (e.g. the sort happens in another
+// function) carry //dapper:anyorder <why>.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order can leak into output, hashes, errors or serialized slices",
+}
+
+func init() {
+	Maporder.Run = runMaporder
+}
+
+// serializingMethods are method names that move bytes toward an
+// output, hash, or encoder when called inside a map loop.
+var serializingMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeToken": true, "Printf": true, "Print": true,
+	"Println": true, "Fprintf": true, "Sum": true,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, file := range pass.Files {
+		anns := ParseAnnotations(pass.Fset, file)
+		// Parent blocks, for the collect-then-sort idiom check.
+		parents := blockParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if covered, justified := suppression(pass, file, anns, rng, AnnAnyorder); covered {
+				if !justified {
+					pass.Reportf(rng.Pos(), "//dapper:anyorder annotation needs a one-line justification after the marker")
+				}
+				return true
+			}
+			checkMapRangeBody(pass, file, parents, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, file *ast.File, parents map[ast.Stmt]*ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: receivers observe Go's randomized map order; iterate sorted keys instead")
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgFunc(pass.Info, n); ok {
+				if pkg == "fmt" {
+					pass.Reportf(n.Pos(), "fmt.%s inside map iteration: output (or the first error returned) depends on randomized map order; iterate sorted keys instead", name)
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && serializingMethods[sel.Sel.Name] {
+				pass.Reportf(n.Pos(), "%s call inside map iteration feeds a writer/hash/encoder in randomized map order; iterate sorted keys instead", sel.Sel.Name)
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				checkMapRangeAppend(pass, parents, rng, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAppend flags `dst = append(dst, ...)` where dst
+// outlives the loop — unless dst is sorted afterwards in the same
+// block (the collect-then-sort idiom).
+func checkMapRangeAppend(pass *Pass, parents map[ast.Stmt]*ast.BlockStmt, rng *ast.RangeStmt, call *ast.CallExpr) {
+	obj := rootObject(pass.Info, call.Args[0])
+	if obj == nil {
+		return
+	}
+	// Declared inside the range statement: dies with the iteration,
+	// order cannot leak.
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return
+	}
+	if sortedAfter(pass, parents, rng, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s (declared outside the loop) inside map iteration: the slice inherits randomized map order; collect keys and sort them first (a sort.*/slices.* call on %s later in the same block is recognized), or annotate //dapper:anyorder <why>", obj.Name(), obj.Name())
+}
+
+// rootObject resolves the variable (the field itself for selector
+// expressions) an append or sort call touches, unwrapping slicing and
+// indexing so `sort.Ints(keys[1:])` still resolves to keys.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.SliceExpr:
+		return rootObject(info, e.X)
+	case *ast.IndexExpr:
+		return rootObject(info, e.X)
+	case *ast.ParenExpr:
+		return rootObject(info, e.X)
+	}
+	return nil
+}
+
+// sortedAfter reports whether a sort.*/slices.* call mentioning obj
+// appears after rng in rng's enclosing block.
+func sortedAfter(pass *Pass, parents map[ast.Stmt]*ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	block := parents[rng]
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, ok := pkgFunc(pass.Info, call)
+			if !ok || (pkg != "sort" && pkg != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				argObj := rootObject(pass.Info, arg)
+				if argObj == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// blockParents maps every statement to the block that directly
+// contains it.
+func blockParents(file *ast.File) map[ast.Stmt]*ast.BlockStmt {
+	parents := make(map[ast.Stmt]*ast.BlockStmt)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			for _, s := range b.List {
+				parents[s] = b
+			}
+		}
+		return true
+	})
+	return parents
+}

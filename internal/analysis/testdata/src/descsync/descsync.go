@@ -1,0 +1,27 @@
+// Package descsync is the in-sync fixture for descriptorsync: every
+// Config knob is mapped, every Descriptor field accounted for, so the
+// analyzer stays silent.
+package descsync
+
+// Config mimics sim.Config for the fixture contract.
+type Config struct {
+	Knob    int
+	Window  int
+	Derived []string
+	Legacy  bool
+}
+
+// Params mimics attack.Params: folded whole into one Descriptor tag.
+type Params struct {
+	Alpha float64
+	Beta  int
+}
+
+// Descriptor mimics harness.Descriptor.
+type Descriptor struct {
+	Knob   int
+	Window int
+	Point  string
+	Seed   uint64
+	Extra  string
+}

@@ -1,0 +1,20 @@
+// Package descsyncmiss seeds every drift the descriptorsync analyzer
+// must catch: a Config knob missing from the contract (the classic
+// cache-aliasing bug), a stale contract entry, a rogue Descriptor
+// field, and a contract target the Descriptor no longer carries.
+package descsyncmiss
+
+// Config gained NewKnob without anyone extending the contract table —
+// two distinct NewKnob settings would alias one cache entry.
+type Config struct { // want `knob Config\.NewKnob is not covered by the Descriptor cache-key contract` `descriptorsync contract maps Config\.Removed, but the struct has no such field`
+	Knob    int
+	NewKnob int
+}
+
+// Descriptor gained Rogue without a contract entry and dropped the
+// Window field the contract still expects.
+type Descriptor struct { // want `Descriptor field Rogue is not in the descriptorsync contract table` `descriptorsync contract expects Descriptor field Window, which no longer exists`
+	Knob  int
+	Rogue string
+	Extra string
+}

@@ -1,0 +1,71 @@
+// Package hotpath is the fixture for the //dapper:hot contract:
+// annotated functions must not allocate, format, close over state, or
+// box concrete values into interfaces. Unannotated functions are free.
+package hotpath
+
+import "fmt"
+
+type observer interface{ Observe(int) }
+
+type rec struct {
+	buf  []uint64
+	sink observer
+}
+
+//dapper:hot
+func (r *rec) fold(w int) {
+	// Index arithmetic, field access and interface method calls through
+	// an already-boxed value are all fine.
+	r.buf[w]++
+	if r.sink != nil {
+		r.sink.Observe(w)
+	}
+}
+
+//dapper:hot
+func (r *rec) allocates(n int) {
+	r.buf = make([]uint64, n) // want `make in //dapper:hot allocates`
+	p := new(int)             // want `new in //dapper:hot allocates`
+	_ = p
+	r.buf = append(r.buf, 1) // want `append in //dapper:hot allocates`
+}
+
+//dapper:hot
+func (r *rec) literals() {
+	s := []int{1}      // want `slice literal in //dapper:hot literals allocates`
+	m := map[int]int{} // want `map literal in //dapper:hot literals allocates`
+	p := &rec{}        // want `&composite literal in //dapper:hot literals allocates`
+	_, _, _ = s, m, p
+}
+
+//dapper:hot
+func (r *rec) formats(v int) string {
+	return fmt.Sprintf("%d", v) // want `fmt\.Sprintf in //dapper:hot formats allocates and boxes`
+}
+
+//dapper:hot
+func (r *rec) control() {
+	defer noop()   // want `defer in //dapper:hot control`
+	go noop()      // want `goroutine in //dapper:hot control`
+	f := func() {} // want `closure in //dapper:hot control`
+	f()
+}
+
+//dapper:hot
+func (r *rec) boxes(v int) {
+	consume(v)            // want `argument boxes concrete int into interface`
+	consumeVariadic(1, v) // want `argument boxes concrete int into interface` `argument boxes concrete int into interface`
+	consume(nil)          // untyped nil never boxes
+	consume(r.sink)       // already an interface: fine
+}
+
+func notHotAllocatesFreely(n int) []int {
+	out := make([]int, n)
+	return append(out, len(fmt.Sprint(n)))
+}
+
+func consume(x any) { _ = x }
+
+func consumeVariadic(xs ...any) { _ = xs }
+
+func noop() {}

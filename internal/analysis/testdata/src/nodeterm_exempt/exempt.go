@@ -1,0 +1,14 @@
+// Package nodeterm_exempt is a fixture playing an exempt package
+// (TierNone): nothing here is a finding.
+package nodeterm_exempt
+
+import (
+	"os"
+	"time"
+)
+
+func free() time.Time {
+	go func() {}()
+	_ = os.Getenv("HOME")
+	return time.Now()
+}

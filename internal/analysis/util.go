@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+func sprintf(format string, args ...any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// SortFindings orders findings by file, line, column, message — the
+// stable order drivers print and golden tests rely on.
+func SortFindings(fs []Finding) { sortFindings(fs) }
+
+// pkgFunc resolves a call expression to (package path, function name)
+// when the callee is a package-level function accessed through an
+// import (time.Now, rand.Intn, os.Getenv). Method calls and local
+// calls return ok=false.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	ident, okIdent := sel.X.(*ast.Ident)
+	if !okIdent {
+		return "", "", false
+	}
+	pn, okPkg := info.Uses[ident].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// enclosingFunc returns the innermost FuncDecl in file whose body
+// spans pos, or nil.
+func enclosingFunc(file *ast.File, pos ast.Node) *ast.FuncDecl {
+	var found *ast.FuncDecl
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Pos() <= pos.Pos() && pos.Pos() < fd.End() {
+			found = fd
+		}
+	}
+	return found
+}

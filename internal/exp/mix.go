@@ -44,17 +44,17 @@ func (s mixRunSpec) descriptor() harness.Descriptor {
 		name = "none"
 	}
 	return harness.Descriptor{
-		Tracker:  name,
-		Mode:     s.tracker.Mode.String(),
-		NRH:      s.nrh,
-		Workload: s.spec.ID(),
-		Attack:   "mix",
-		Mix:      s.spec.Canonical(),
-		Geometry: s.geo,
-		Timing:   "ddr5",
-		Warmup:   s.warmup,
-		Measure:  s.measure,
-		Seed:     s.seed,
+		Tracker:   name,
+		Mode:      s.tracker.Mode.String(),
+		NRH:       s.nrh,
+		Workload:  s.spec.ID(),
+		Attack:    "mix",
+		Mix:       s.spec.Canonical(),
+		Geometry:  s.geo,
+		Timing:    "ddr5",
+		Warmup:    s.warmup,
+		Measure:   s.measure,
+		Seed:      s.seed,
 		Engine:    string(s.engine.OrDefault()),
 		Audit:     auditTagFor(s.audit, s.auditInjected),
 		Telemetry: harness.TelemetryTag(s.telemetryWindow),

@@ -1,0 +1,220 @@
+package harness_test
+
+import (
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"dapper/internal/analysis"
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/harness"
+	"dapper/internal/mix"
+	"dapper/internal/sim"
+)
+
+// This file is the dynamic backstop behind the descriptorsync
+// analyzer: the static contract table (analysis.DapperContract) pins
+// field NAMES, and these tests pin field BEHAVIOR — every Descriptor
+// field must perturb Key(), every attack.Params and mix.Spec leaf must
+// perturb its Canonical() encoding, and the contract's field sets must
+// match the real struct types via reflection. A new field that dodges
+// the linter (e.g. added together with a stale table edit) still trips
+// one of these.
+
+// leafPaths enumerates index paths to every leaf field, descending
+// into struct-typed fields so each nested knob gets its own mutation.
+func leafPaths(t reflect.Type, prefix []int) [][]int {
+	var paths [][]int
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		idx := append(slices.Clone(prefix), i)
+		if f.Type.Kind() == reflect.Struct {
+			paths = append(paths, leafPaths(f.Type, idx)...)
+			continue
+		}
+		paths = append(paths, idx)
+	}
+	return paths
+}
+
+func pathName(t reflect.Type, path []int) string {
+	var parts []string
+	for _, i := range path {
+		f := t.Field(i)
+		parts = append(parts, f.Name)
+		t = f.Type
+	}
+	return strings.Join(parts, ".")
+}
+
+// perturb changes a settable leaf value to a guaranteed-different one.
+func perturb(t *testing.T, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(v.String() + "~mut")
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.5)
+	default:
+		t.Fatalf("perturb: unhandled kind %s — extend the backstop for the new field type", v.Kind())
+	}
+}
+
+// TestDescriptorKeyCoversEveryField mutates each Descriptor leaf in
+// turn and requires the content address to move. A field that Key()
+// silently drops would let two distinct experiment points alias one
+// cache entry — the exact bug class descriptorsync exists to stop.
+func TestDescriptorKeyCoversEveryField(t *testing.T) {
+	base := harness.Descriptor{
+		Tracker: "graphene", Mode: "rfm", NRH: 500,
+		Workload: "stream", Attack: "double", Benign4: false,
+		AttackParams: "s(r2)", Geometry: dram.Baseline(), Timing: "ddr5",
+		LLCBytes: 1 << 23, Warmup: 1000, Measure: 4000, Seed: 7,
+		Engine: "event", Audit: "v1", Mix: "c0=stream", Telemetry: "w20000",
+		Extra: "note",
+	}
+	if base.Key() != base.Key() {
+		t.Fatal("Descriptor.Key is not deterministic")
+	}
+	dt := reflect.TypeOf(base)
+	for _, path := range leafPaths(dt, nil) {
+		d := base
+		perturb(t, reflect.ValueOf(&d).Elem().FieldByIndex(path))
+		if d.Key() == base.Key() {
+			t.Errorf("mutating Descriptor.%s does not change Key(); the field is silently dropped from the cache key", pathName(dt, path))
+		}
+	}
+}
+
+// TestAttackParamsCanonicalCoversEveryField does the same for the
+// parametric attack point: all 15 Pattern knobs in both phases plus
+// the phase schedule must reach Canonical(), or the adversary search
+// would cache-serve results across distinct points.
+func TestAttackParamsCanonicalCoversEveryField(t *testing.T) {
+	base := attack.Params{
+		Steady: attack.Pattern{
+			Rows: 8, Groups: 2, GroupSpan: 64, RowStride: 2, RowBase: 100,
+			RowHold: 4, Banks: 8, Ranks: 1, HotFrac: 0.25, HotRows: 2,
+			HotBase: 10, HotStride: 3, Bubbles: 5, CacheableFrac: 0.1,
+			StreamBytes: 1 << 20,
+		},
+		Warm: attack.Pattern{
+			Rows: 4, Groups: 1, GroupSpan: 32, RowStride: 1, RowBase: 50,
+			RowHold: 2, Banks: 4, Ranks: 1, HotFrac: 0.5, HotRows: 1,
+			HotBase: 5, HotStride: 2, Bubbles: 1, CacheableFrac: 0.2,
+			StreamBytes: 1 << 19,
+		},
+		WarmAccesses: 1000, Period: 5000,
+	}
+	pt := reflect.TypeOf(base)
+	for _, path := range leafPaths(pt, nil) {
+		p := base
+		perturb(t, reflect.ValueOf(&p).Elem().FieldByIndex(path))
+		if p.Canonical() == base.Canonical() {
+			t.Errorf("mutating Params.%s does not change Canonical(); nearby search points would alias", pathName(pt, path))
+		}
+	}
+}
+
+// TestMixCanonicalCoversEverySlotField mutates each Slot leaf on a
+// parametric-attacker slot (the shape where every field is live) and
+// requires Spec.Canonical() to move; slot order and slot count must
+// also be significant.
+func TestMixCanonicalCoversEverySlotField(t *testing.T) {
+	slot := mix.Slot{
+		Attack: attack.Parametric.String(),
+		Params: attack.Params{Steady: attack.Pattern{Rows: 8, HotFrac: 0.25}},
+	}
+	base := mix.Spec{Slots: []mix.Slot{{Workload: "stream"}, slot}}
+	st := reflect.TypeOf(slot)
+	for _, path := range leafPaths(st, nil) {
+		sp := mix.Spec{Slots: slices.Clone(base.Slots)}
+		mut := slot
+		perturb(t, reflect.ValueOf(&mut).Elem().FieldByIndex(path))
+		sp.Slots[1] = mut
+		if sp.Canonical() == base.Canonical() {
+			t.Errorf("mutating Slot.%s does not change Spec.Canonical(); distinct mixes would alias", pathName(st, path))
+		}
+	}
+	grown := mix.Spec{Slots: append(slices.Clone(base.Slots), mix.Slot{Workload: "stream"})}
+	if grown.Canonical() == base.Canonical() {
+		t.Error("adding a slot does not change Spec.Canonical()")
+	}
+	swapped := mix.Spec{Slots: []mix.Slot{base.Slots[1], base.Slots[0]}}
+	if swapped.Canonical() == base.Canonical() {
+		t.Error("slot order does not affect Spec.Canonical(); per-core placement would alias")
+	}
+}
+
+// exportedFieldNames returns the type's exported field names, sorted.
+func exportedFieldNames(t reflect.Type) []string {
+	var names []string
+	for i := 0; i < t.NumField(); i++ {
+		if f := t.Field(i); f.IsExported() {
+			names = append(names, f.Name)
+		}
+	}
+	slices.Sort(names)
+	return names
+}
+
+// TestContractTablesMatchRealTypes cross-checks the descriptorsync
+// contract table against the live types with reflection. The static
+// analyzer performs the same comparison from export data at lint time;
+// this keeps plain `go test` authoritative even where the linter is
+// not wired in.
+func TestContractTablesMatchRealTypes(t *testing.T) {
+	liveTypes := map[string]reflect.Type{
+		"dapper/internal/sim.Config":     reflect.TypeOf(sim.Config{}),
+		"dapper/internal/attack.Params":  reflect.TypeOf(attack.Params{}),
+		"dapper/internal/attack.Pattern": reflect.TypeOf(attack.Pattern{}),
+		"dapper/internal/mix.Spec":       reflect.TypeOf(mix.Spec{}),
+		"dapper/internal/mix.Slot":       reflect.TypeOf(mix.Slot{}),
+	}
+
+	c := analysis.DapperContract
+	if err := c.Validate(); err != nil {
+		t.Fatalf("production contract table is internally inconsistent: %v", err)
+	}
+
+	// Descriptor fields: exact set match, both directions.
+	gotDesc := exportedFieldNames(reflect.TypeOf(harness.Descriptor{}))
+	wantDesc := slices.Clone(c.DescriptorFields)
+	slices.Sort(wantDesc)
+	if !slices.Equal(gotDesc, wantDesc) {
+		t.Errorf("contract DescriptorFields = %v, real Descriptor has %v", wantDesc, gotDesc)
+	}
+
+	seen := make(map[string]bool)
+	for _, sc := range c.Structs {
+		full := sc.Pkg + "." + sc.Name
+		seen[full] = true
+		rt, ok := liveTypes[full]
+		if !ok {
+			t.Errorf("contract watches %s, which this backstop does not know; add it to liveTypes", full)
+			continue
+		}
+		got := exportedFieldNames(rt)
+		var want []string
+		for name := range sc.Fields {
+			want = append(want, name)
+		}
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Errorf("%s: contract maps fields %v, real struct has %v", full, want, got)
+		}
+	}
+	for full := range liveTypes {
+		if !seen[full] {
+			t.Errorf("%s is cache-key-relevant but has no contract entry", full)
+		}
+	}
+}

@@ -146,10 +146,14 @@ func (p *Pool) Submit(job Job) *Future {
 	p.mu.Unlock()
 
 	p.wg.Add(1)
+	//dapper:wallclock submission timestamp feeds the queue-wait trace span only, never a Result
 	go p.execute(f, job, time.Now())
 	return f
 }
 
+// execute runs one job to completion on a worker slot.
+//
+//dapper:wallclock measures cache-lookup and simulation elapsed time for Stats and trace spans; results stay a pure function of the Descriptor
 func (p *Pool) execute(f *Future, job Job, submitted time.Time) {
 	defer p.wg.Done()
 	if p.cache != nil {
@@ -250,6 +254,8 @@ func (p *Pool) Stats() Stats {
 // Close waits for all jobs, streams every successful record to the
 // sinks in submission order, and closes the sinks. It is safe to call
 // once; further Submits after Close are a programming error.
+//
+//dapper:wallclock times sink flushes for the tracer's sink lane; the flushed bytes are already ordered and wall-clock free
 func (p *Pool) Close() error {
 	p.wg.Wait()
 	p.mu.Lock()

@@ -59,24 +59,32 @@ func Tee(obs ...Observer) Observer {
 
 type tee []Observer
 
+// The tee fan-out methods sit on the per-ACT path of every audited or
+// telemetry-carrying run; //dapper:hot keeps them free of allocation
+// and boxing so an attached observer stays within the <2% budget.
+//
+//dapper:hot
 func (t tee) ObserveACT(now dram.Cycle, loc dram.Loc, injected bool) {
 	for _, o := range t {
 		o.ObserveACT(now, loc, injected)
 	}
 }
 
+//dapper:hot
 func (t tee) ObserveMitigation(now dram.Cycle, kind ActionKind, loc dram.Loc, row uint32) {
 	for _, o := range t {
 		o.ObserveMitigation(now, kind, loc, row)
 	}
 }
 
+//dapper:hot
 func (t tee) ObserveRefresh(now dram.Cycle, rank int) {
 	for _, o := range t {
 		o.ObserveRefresh(now, rank)
 	}
 }
 
+//dapper:hot
 func (t tee) ObserveBulkRefresh(now dram.Cycle, rank int) {
 	for _, o := range t {
 		o.ObserveBulkRefresh(now, rank)

@@ -1,5 +1,7 @@
 package sketch
 
+import "slices"
+
 // MisraGries is a Misra-Gries frequent-items summary with a spillover
 // counter, the structure ABACUS builds its tracker from (§III-A). It
 // maintains at most K (key, count) entries plus one spillover counter.
@@ -66,14 +68,21 @@ func (mg *MisraGries) Add(key uint64) uint32 {
 		}
 	}
 	// No replaceable entry: absorb into spillover and mark newly dead
-	// entries replaceable. The rebuild is O(K) but happens at most once
-	// per K-ish inserts, keeping Add amortized O(1).
+	// entries replaceable. The rebuild is O(K log K) but happens at most
+	// once per K-ish inserts, keeping Add amortized O(1). The rebuilt
+	// list is sorted so the eviction victim is a deterministic function
+	// of the table contents: Add pops from the back, so the highest dead
+	// key goes first. Ranging the map directly here made victim identity
+	// — and with it downstream tracker state and mitigation timing —
+	// depend on Go's randomized map iteration order.
 	mg.spill++
+	start := len(mg.replaceable)
 	for k, c := range mg.counts {
 		if c <= mg.spill {
 			mg.replaceable = append(mg.replaceable, k)
 		}
 	}
+	slices.Sort(mg.replaceable[start:])
 	return mg.spill
 }
 

@@ -124,6 +124,8 @@ func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
 // outside [0, End) into the boundary windows: commands can carry issue
 // cycles slightly past the run end (in-flight at cutoff) and belong to
 // the final window by construction.
+//
+//dapper:hot
 func (r *Recorder) windowOf(t dram.Cycle) int {
 	if t < 0 {
 		return 0
@@ -136,6 +138,8 @@ func (r *Recorder) windowOf(t dram.Cycle) int {
 
 // addOcc integrates a constant queue level over [from, to), splitting
 // the span across the windows it straddles.
+//
+//dapper:hot
 func (r *Recorder) addOcc(dst []uint64, from, to dram.Cycle, level int) {
 	if level == 0 || from >= to {
 		return
@@ -153,6 +157,8 @@ func (r *Recorder) addOcc(dst []uint64, from, to dram.Cycle, level int) {
 
 // catchUpOcc advances channel ch's queue integrator to cycle t (clamped
 // monotone and into [., End]).
+//
+//dapper:hot
 func (r *Recorder) catchUpOcc(c *chanAcc, t dram.Cycle) {
 	if t > r.cfg.End {
 		t = r.cfg.End
@@ -177,6 +183,10 @@ type chanObserver struct {
 // observers (e.g. the security oracle) via rh.Tee.
 func (r *Recorder) Observer(ch int) rh.Observer { return &chanObserver{r: r, ch: ch} }
 
+// ObserveACT folds one activation; it runs once per ACT whenever
+// telemetry is on, so it must stay allocation-free (//dapper:hot).
+//
+//dapper:hot
 func (o *chanObserver) ObserveACT(now dram.Cycle, loc dram.Loc, injected bool) {
 	c := &o.r.channels[o.ch]
 	w := o.r.windowOf(now)
@@ -189,6 +199,7 @@ func (o *chanObserver) ObserveACT(now dram.Cycle, loc dram.Loc, injected bool) {
 	}
 }
 
+//dapper:hot
 func (o *chanObserver) ObserveMitigation(now dram.Cycle, kind rh.ActionKind, loc dram.Loc, row uint32) {
 	c := &o.r.channels[o.ch]
 	w := o.r.windowOf(now)
@@ -205,11 +216,13 @@ func (o *chanObserver) ObserveMitigation(now dram.Cycle, kind rh.ActionKind, loc
 	}
 }
 
+//dapper:hot
 func (o *chanObserver) ObserveRefresh(now dram.Cycle, rank int) {
 	o.r.channels[o.ch].ref[o.r.windowOf(now)]++
 	o.r.totals.REF++
 }
 
+//dapper:hot
 func (o *chanObserver) ObserveBulkRefresh(now dram.Cycle, rank int) {
 	o.r.channels[o.ch].bulk[o.r.windowOf(now)]++
 	o.r.totals.Bulk++
@@ -226,12 +239,14 @@ type ctrlProbe struct {
 // tracker-table samples.
 func (r *Recorder) ControllerProbe(ch int) ControllerProbe { return &ctrlProbe{r: r, ch: ch} }
 
+//dapper:hot
 func (p *ctrlProbe) QueueSample(now dram.Cycle, demand, injected int) {
 	c := &p.r.channels[p.ch]
 	p.r.catchUpOcc(c, now)
 	c.demandLevel, c.injLevel = demand, injected
 }
 
+//dapper:hot
 func (p *ctrlProbe) TableSample(now dram.Cycle, used, capacity int, resets uint64) {
 	c := &p.r.channels[p.ch]
 	w := p.r.windowOf(now)
@@ -252,6 +267,10 @@ type coreProbe struct {
 // CoreProbe returns the probe folding core i's retirement segments.
 func (r *Recorder) CoreProbe(core int) CoreProbe { return &coreProbe{r: r, core: core} }
 
+// CoreSegment folds one retirement segment; the event engine calls it
+// per dispatch burst, so it stays allocation-free (//dapper:hot).
+//
+//dapper:hot
 func (p *coreProbe) CoreSegment(from, to dram.Cycle, retired uint64, dispCycles dram.Cycle) {
 	if from >= to {
 		return

@@ -225,14 +225,20 @@ func (s *Series) Validate() error {
 
 	sums := Totals{}
 	for i, ch := range s.Channels {
-		for name, sl := range map[string][]uint64{
-			"demand_act": ch.DemandACT, "inj_act": ch.InjACT,
-			"vrr": ch.VRR, "rfmsb": ch.RFMsb, "drfmsb": ch.DRFMsb,
-			"bulk": ch.Bulk, "ref": ch.REF,
-			"queue_occ_cycles": ch.QueueOccCycles, "inj_queue_occ_cycles": ch.InjQueueOccCycles,
+		// An ordered pair list, not a map literal: which length mismatch a
+		// caller hears about first must not depend on randomized map
+		// iteration order (failure messages are diffed in golden tests).
+		for _, f := range []struct {
+			name string
+			sl   []uint64
+		}{
+			{"demand_act", ch.DemandACT}, {"inj_act", ch.InjACT},
+			{"vrr", ch.VRR}, {"rfmsb", ch.RFMsb}, {"drfmsb", ch.DRFMsb},
+			{"bulk", ch.Bulk}, {"ref", ch.REF},
+			{"queue_occ_cycles", ch.QueueOccCycles}, {"inj_queue_occ_cycles", ch.InjQueueOccCycles},
 		} {
-			if len(sl) != n {
-				return fmt.Errorf("telemetry: channel %d %s has %d windows, want %d", i, name, len(sl), n)
+			if len(f.sl) != n {
+				return fmt.Errorf("telemetry: channel %d %s has %d windows, want %d", i, f.name, len(f.sl), n)
 			}
 		}
 		if ch.TableUsed != nil {

@@ -33,6 +33,8 @@ type traceSpan struct {
 
 // NewTracer starts a tracer; span timestamps are exported relative to
 // this call.
+//
+//dapper:wallclock the tracer's whole job is recording wall-clock spans; traces are diagnostics, never inputs to Results or cache keys
 func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now(), lanes: make(map[int]string)}
 }
@@ -116,9 +118,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	for _, s := range spans {
 		events = append(events, chromeEvent{
 			Name: s.name, Cat: s.cat, Ph: "X",
-			TS:   micros(s.start.Sub(epoch)),
-			Dur:  micros(s.dur),
-			PID:  1, TID: s.lane,
+			TS:  micros(s.start.Sub(epoch)),
+			Dur: micros(s.dur),
+			PID: 1, TID: s.lane,
 			Args: s.args,
 		})
 	}
