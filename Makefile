@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke telemetry-smoke bench-mix bench-smoke bench-compare bench-check adversary-smoke bench-adversary ci
+.PHONY: all build vet lint test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke telemetry-smoke blame-smoke bench-mix bench-smoke bench-compare bench-check adversary-smoke bench-adversary ci
 
 all: build vet lint test
 
@@ -81,6 +81,17 @@ telemetry-smoke:
 	$(GO) run ./cmd/dapper-timeline -tracker dapper-h -attack refresh -nrh 500 -warmup 5 -measure 60 -window 10 -rows-per-bank 1024 -seed 1 -check -out telemetry-smoke
 	$(GO) run ./cmd/dapper-batch -profile tiny -trackers dapper-h,none -workloads 429.mcf -nrh 500 -attack refresh -window-us 10 -telemetry telemetry-smoke/tel -out telemetry-smoke
 
+# Slowdown-attribution smoke: every registered tracker attributed under
+# the focused hammer at NRH 125 on a reduced geometry (seconds).
+# -check gates conservation on each run (CPI stacks sum to cycles,
+# blame buckets sum exactly to memory wait, per window and grand
+# total) and cross-engine byte equality of the attribution and the
+# windowed stacks. blame-smoke/ holds per-tracker CPI-stack
+# JSONL/CSV/ASCII plus the core→core blame matrices; CI uploads the
+# directory as an artifact.
+blame-smoke:
+	$(GO) run ./cmd/dapper-blame -tracker all -attack hammer -nrh 125 -rows-per-bank 1024 -warmup 5 -measure 60 -window 10 -seed 1 -check -out blame-smoke
+
 # Benchmark mix-sweep throughput (cells per second) and record it in
 # BENCH_mix.json (BenchmarkMix in bench_test.go is the in-process
 # equivalent, covered by bench-smoke).
@@ -115,4 +126,4 @@ adversary-smoke:
 bench-adversary:
 	$(GO) run ./cmd/dapper-adversary -tracker dapper-h -profile tiny -budget 16 -seed 1 -out adversary-bench -bench BENCH_adversary.json
 
-ci: build vet lint test test-race test-engine-equivalence audit-smoke mix-smoke telemetry-smoke fuzz-smoke bench-smoke bench-check adversary-smoke bench-adversary bench-mix
+ci: build vet lint test test-race test-engine-equivalence audit-smoke mix-smoke telemetry-smoke blame-smoke fuzz-smoke bench-smoke bench-check adversary-smoke bench-adversary bench-mix

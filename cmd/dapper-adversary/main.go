@@ -60,6 +60,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
 	outDir := flag.String("out", ".", "output directory for adversary-<tracker>.{jsonl,csv}")
 	benchOut := flag.String("bench", "", "write a candidates/sec benchmark JSON to this path")
+	attr := flag.Bool("attr", false, "collect slowdown attribution (blame columns in the report rows)")
 	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	listTrackers := flag.Bool("list-trackers", false, "list tracker ids and exit")
@@ -89,6 +90,7 @@ func main() {
 	}
 	p.Engine = engine
 	p.Seed = *seed
+	p.Attribution = *attr
 
 	mode, err := rh.ParseMode(*modeName)
 	if err != nil {
@@ -132,15 +134,18 @@ func main() {
 	if *telemetryDir != "" {
 		tracer = telemetry.NewTracer()
 	}
+	blameAgg := diag.NewBlameAgg()
 	pool := harness.NewPool(harness.Options{
-		Workers: *jobs,
-		Cache:   cache,
-		Tracer:  tracer,
+		OnResult: blameAgg.Observe,
+		Workers:  *jobs,
+		Cache:    cache,
+		Tracer:   tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
 	if *debugAddr != "" {
+		blameAgg.Publish()
 		bound, err := diag.Serve(*debugAddr, pool.Stats)
 		if err != nil {
 			fatal(err)

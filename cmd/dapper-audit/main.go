@@ -56,6 +56,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
 	outDir := flag.String("out", ".", "output directory for audit-matrix.{jsonl,csv}")
 	countInjected := flag.Bool("count-injected", false, "charge tracker counter traffic in the oracle ledger")
+	attr := flag.Bool("attr", false, "collect slowdown attribution and add blame columns to the matrix")
 	check := flag.Bool("check", false, "exit non-zero unless 'none' escapes and every real tracker is escape-free")
 	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
@@ -86,6 +87,7 @@ func main() {
 	}
 	p.Engine = engine
 	p.Seed = *seed
+	p.Attribution = *attr
 
 	w, err := workloads.ByName(*wname)
 	if err != nil {
@@ -151,15 +153,18 @@ func main() {
 	if *telemetryDir != "" {
 		tracer = telemetry.NewTracer()
 	}
+	blameAgg := diag.NewBlameAgg()
 	pool := harness.NewPool(harness.Options{
-		Workers: *jobs,
-		Cache:   cache,
-		Tracer:  tracer,
+		OnResult: blameAgg.Observe,
+		Workers:  *jobs,
+		Cache:    cache,
+		Tracer:   tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
 	if *debugAddr != "" {
+		blameAgg.Publish()
 		bound, err := diag.Serve(*debugAddr, pool.Stats)
 		if err != nil {
 			fatal(err)
@@ -194,6 +199,15 @@ func main() {
 			ACTs: rep.ACTs, InjectedACTs: rep.InjectedACTs,
 			Mitigations: rep.Mitigations, Refreshes: rep.Refreshes,
 			BulkResets: rep.BulkResets, Throttled: res.Tracker.Throttled,
+		}
+		if a := res.Attribution; a != nil {
+			rows[i].Attr = true
+			for _, core := range sim.BenignCores(len(a.Cores)) {
+				m := a.Cores[core].Mem
+				rows[i].BlameMitigation += m.Mitigation
+				rows[i].BlameInject += m.Inject
+				rows[i].BlameThrottle += m.Throttle
+			}
 		}
 		escapesByTracker[c.Tracker] += rep.Escapes
 	}

@@ -54,6 +54,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
 	outDir := flag.String("out", ".", "output directory for batch.jsonl + batch.csv")
 	windowUS := flag.Float64("window-us", 0, "in-sim telemetry window in microseconds (0 = off); each result gains a windowed Series")
+	attr := flag.Bool("attr", false, "collect slowdown attribution (CPI stacks + blame matrix) on every run")
 	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (e.g. localhost:6060)")
 	listTrackers := flag.Bool("list-trackers", false, "list tracker ids and exit")
@@ -91,6 +92,7 @@ func main() {
 	if *windowUS > 0 {
 		p.TelemetryWindow = dram.US(*windowUS)
 	}
+	p.Attribution = *attr
 
 	if *jobs <= 0 {
 		*jobs = runtime.NumCPU()
@@ -153,16 +155,19 @@ func main() {
 	if *telemetryDir != "" {
 		tracer = telemetry.NewTracer()
 	}
+	blameAgg := diag.NewBlameAgg()
 	pool := harness.NewPool(harness.Options{
-		Workers: *jobs,
-		Cache:   cache,
-		Sinks:   sinks,
-		Tracer:  tracer,
+		OnResult: blameAgg.Observe,
+		Workers:  *jobs,
+		Cache:    cache,
+		Sinks:    sinks,
+		Tracer:   tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
 	if *debugAddr != "" {
+		blameAgg.Publish()
 		bound, err := diag.Serve(*debugAddr, pool.Stats)
 		if err != nil {
 			fatal(err)

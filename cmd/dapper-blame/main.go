@@ -1,0 +1,235 @@
+// Command dapper-blame answers "why is it slow?": it runs one (or,
+// with -tracker all, every) attribution-enabled simulation and renders
+// the per-core CPI stacks, the memory-wait blame breakdown and the
+// core→core interference blame matrix as deterministic JSONL/CSV plus
+// a human-readable ASCII view.
+//
+// Usage:
+//
+//	dapper-blame -tracker dapper-h -attack hammer -nrh 125
+//	dapper-blame -tracker all -attack hammer -check -out blame/
+//	dapper-blame -tracker none -attack none -format ascii
+//
+// -check turns the attribution contracts into an exit code: the
+// Attribution must validate (CPI stacks partition cycles exactly,
+// blame buckets sum to each core's wait total, the matrix stays within
+// its row bounds), the windowed blame series must fold back to the
+// grand totals, and a replay on the other engine must produce a
+// byte-identical Attribution and Series.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/exp"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/telemetry"
+	"dapper/internal/workloads"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func runOnce(engine sim.Engine, geo dram.Geometry, factory sim.TrackerFactory,
+	w workloads.Workload, pt exp.AttackPoint, nrh uint32,
+	warmup, measure, window dram.Cycle, seed uint64) (sim.Result, error) {
+	traces := sim.BenignTraces(w, 3, geo, seed)
+	if pt.Kind == attack.None {
+		traces = sim.BenignTraces(w, 4, geo, seed)
+	} else {
+		traces = append(traces, attack.MustTrace(attack.Config{
+			Geometry: geo, NRH: nrh, Kind: pt.Kind, Params: pt.Params, Seed: seed,
+		}))
+	}
+	return sim.Run(sim.Config{
+		Geometry:        geo,
+		Traces:          traces,
+		Tracker:         factory,
+		Warmup:          warmup,
+		Measure:         measure,
+		Engine:          engine,
+		TelemetryWindow: window,
+		Attribution:     true,
+	})
+}
+
+// coreLabels names the cores for the ASCII view: benign workload copies
+// plus the attacker slot.
+func coreLabels(w workloads.Workload, attackName string, n int) []string {
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = w.Name
+	}
+	if attackName != "none" {
+		labels[n-1] = "!" + attackName
+	}
+	return labels
+}
+
+func main() {
+	wl := flag.String("workload", "429.mcf", "benign workload name")
+	tr := flag.String("tracker", "dapper-h", "tracker id (see dapper-batch -list-trackers), 'none', or 'all'")
+	atk := flag.String("attack", "hammer", "attack on the 4th core: 'hammer' (focused parametric), a hand-written kind, or 'none' (four benign copies)")
+	nrh := flag.Uint("nrh", 125, "RowHammer threshold")
+	modeName := flag.String("mode", "VRR-BR1", "mitigation mode (VRR-BR1|VRR-BR2|RFMsb|DRFMsb)")
+	windowUS := flag.Float64("window", 10, "telemetry window in microseconds (0 = whole-run stacks only)")
+	measureUS := flag.Float64("measure", 400, "measurement window in microseconds")
+	warmupUS := flag.Float64("warmup", 100, "warmup window in microseconds")
+	rowsPerBank := flag.Uint("rows-per-bank", 0, "override rows per bank (0 = full 64K)")
+	seed := flag.Uint64("seed", 1, "workload + attack trace seed")
+	engineName := flag.String("engine", "event", "simulation engine: event or cycle")
+	outDir := flag.String("out", ".", "output directory for blame-<tracker>.{jsonl,csv,txt} + blame-matrix-<tracker>.csv")
+	format := flag.String("format", "all", "output format: jsonl, csv, ascii or all")
+	check := flag.Bool("check", false, "verify attribution conservation and cross-engine byte equality; non-zero exit on failure")
+	flag.Parse()
+
+	switch *format {
+	case "jsonl", "csv", "ascii", "all":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (jsonl|csv|ascii|all)", *format))
+	}
+	w, err := workloads.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	pt, attackName := exp.AttackPoint{Kind: attack.None}, "none"
+	if *atk != "none" {
+		sa, err := exp.ParseAuditAttack(*atk)
+		if err != nil {
+			fatal(err)
+		}
+		pt, attackName = sa.Point, sa.Name
+	}
+	mode, err := rh.ParseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	geo := dram.Baseline()
+	if *rowsPerBank != 0 {
+		geo = dram.Scaled(uint32(*rowsPerBank))
+	}
+	trackerIDs := []string{*tr}
+	if *tr == "all" {
+		trackerIDs = exp.KnownTrackers()
+	}
+	warmup, measure, window := dram.US(*warmupUS), dram.US(*measureUS), dram.US(*windowUS)
+	if *windowUS < 0 {
+		fatal(fmt.Errorf("-window must be non-negative (microseconds)"))
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	for _, id := range trackerIDs {
+		factory, err := exp.TrackerFactory(id, geo, uint32(*nrh), mode)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := runOnce(engine, geo, factory, w, pt, uint32(*nrh), warmup, measure, window, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		a := res.Attribution
+		if a == nil {
+			fatal(fmt.Errorf("%s: run produced no attribution (Config.Attribution not plumbed?)", id))
+		}
+
+		if *check {
+			// Validate re-checks the internal conservation (the exact
+			// cycle-count and TotalReadWait gates already ran inside
+			// sim.Run and fail the run on mismatch); CheckSeries folds the
+			// windowed blame back onto the grand totals.
+			if err := a.Validate(); err != nil {
+				fatal(fmt.Errorf("%s: attribution invariants: %w", id, err))
+			}
+			if s := res.Series; s != nil {
+				if err := a.CheckSeries(s); err != nil {
+					fatal(fmt.Errorf("%s: windowed blame: %w", id, err))
+				}
+			}
+			other := sim.EngineCycle
+			if engine.OrDefault() == sim.EngineCycle {
+				other = sim.EngineEvent
+			}
+			res2, err := runOnce(other, geo, factory, w, pt, uint32(*nrh), warmup, measure, window, *seed)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %s replay: %w", id, other, err))
+			}
+			for _, pair := range []struct {
+				what string
+				x, y any
+			}{
+				{"attribution", a, res2.Attribution},
+				{"series", res.Series, res2.Series},
+			} {
+				xb, err := json.Marshal(pair.x)
+				if err != nil {
+					fatal(err)
+				}
+				yb, err := json.Marshal(pair.y)
+				if err != nil {
+					fatal(err)
+				}
+				if !bytes.Equal(xb, yb) {
+					fatal(fmt.Errorf("%s: engines diverge: %s and %s %s are not byte-identical",
+						id, engine.OrDefault(), other, pair.what))
+				}
+			}
+		}
+
+		write := func(name string, fn func(f *os.File) error) {
+			path := filepath.Join(*outDir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := fn(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *format == "jsonl" || *format == "all" {
+			write("blame-"+id+".jsonl", func(f *os.File) error { return telemetry.WriteBlameJSONL(f, a, res.Series) })
+		}
+		if *format == "csv" || *format == "all" {
+			write("blame-"+id+".csv", func(f *os.File) error { return telemetry.WriteBlameCSV(f, a) })
+			write("blame-matrix-"+id+".csv", func(f *os.File) error { return telemetry.WriteBlameMatrixCSV(f, a) })
+		}
+		if *format == "ascii" || *format == "all" {
+			write("blame-"+id+".txt", func(f *os.File) error {
+				return telemetry.RenderBlameASCII(f, a, coreLabels(w, attackName, len(a.Cores)))
+			})
+		}
+		verdict := ""
+		if *check {
+			verdict = " [check passed: conserved + engine byte-identical]"
+		}
+		var benignWait, blameMit, blameInj uint64
+		for _, c := range sim.BenignCores(len(a.Cores)) {
+			m := a.Cores[c].Mem
+			benignWait += m.Total
+			blameMit += m.Mitigation
+			blameInj += m.Inject
+		}
+		fmt.Printf("%-12s attack=%s NRH=%d: benign wait %d (mitigation %d, inject %d)%s\n",
+			res.TrackerNames[0], attackName, *nrh, benignWait, blameMit, blameInj, verdict)
+	}
+}

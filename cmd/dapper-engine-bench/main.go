@@ -12,11 +12,18 @@
 //
 // -check compares the fresh measurement against the committed baseline
 // in -out instead of rewriting it, and exits non-zero if the
-// event-over-cycle speedup ratio regressed by more than 10%. The ratio
-// — not wall-clock seconds — is the gated quantity, so the check is
-// meaningful on machines faster or slower than the one that recorded
-// the baseline. All benchmarked runs are telemetry-off, so this also
-// gates the cost of the telemetry nil-checks on the hot paths.
+// event-over-cycle speedup ratio regressed by more than 10%, or — the
+// tighter gate — if the normalized event-engine time (the inverse of
+// that ratio) grew by more than 2%. The ratio — not wall-clock seconds
+// — is the gated quantity, so both checks are meaningful on machines
+// faster or slower than the one that recorded the baseline, and each
+// engine is timed -repeat times with the best kept, so scheduler noise
+// does not trip the 2% band. All benchmarked runs are telemetry-off
+// and attribution-off, so the 2% gate is the attribution-off overhead
+// budget: the nil-probe checks the attribution layer (like telemetry
+// before it) leaves on the hot paths must stay under 2% of event-engine
+// time. The attribution-ON cost is also measured and recorded
+// (attr_event_seconds / attr_overhead) as trajectory data, ungated.
 package main
 
 import (
@@ -39,62 +46,91 @@ type report struct {
 	CycleSeconds float64 `json:"cycle_seconds"`
 	EventSeconds float64 `json:"event_seconds"`
 	Speedup      float64 `json:"speedup"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	Timestamp    string  `json:"timestamp"`
+	// AttrEventSeconds times the event engine with attribution ON and
+	// AttrOverhead is its fractional cost over the attribution-off run
+	// — trajectory data, not gated (the gated quantity is the
+	// attribution-OFF overhead hiding in EventSeconds).
+	AttrEventSeconds float64 `json:"attr_event_seconds,omitempty"`
+	AttrOverhead     float64 `json:"attr_overhead,omitempty"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Timestamp        string  `json:"timestamp"`
 }
 
 // benchProfile is the shared bench profile (exp.Bench, the same one
 // bench_test.go's figure benchmarks run) pinned to one engine.
-func benchProfile(engine sim.Engine) exp.Profile {
+func benchProfile(engine sim.Engine, attr bool) exp.Profile {
 	p := exp.Bench()
 	p.Engine = engine
+	p.Attribution = attr
 	return p
 }
 
-func timeRun(id string, engine sim.Engine) (float64, error) {
+// timeRun times the experiment repeat times and returns the fastest
+// run: best-of-N is the standard way to keep scheduler noise out of a
+// percent-level gate.
+func timeRun(id string, engine sim.Engine, attr bool, repeat int) (float64, error) {
 	g, err := exp.Lookup(id)
 	if err != nil {
 		return 0, err
 	}
-	//dapper:wallclock this command's purpose is timing the two engines against each other
-	start := time.Now()
-	tb, err := g(benchProfile(engine))
-	if err != nil {
-		return 0, err
+	best := 0.0
+	for i := 0; i < repeat; i++ {
+		//dapper:wallclock this command's purpose is timing the two engines against each other
+		start := time.Now()
+		tb, err := g(benchProfile(engine, attr))
+		if err != nil {
+			return 0, err
+		}
+		if len(tb.Rows) == 0 {
+			return 0, fmt.Errorf("%s produced no rows under %s engine", id, engine)
+		}
+		//dapper:wallclock closes the engine timing above
+		if s := time.Since(start).Seconds(); i == 0 || s < best {
+			best = s
+		}
 	}
-	if len(tb.Rows) == 0 {
-		return 0, fmt.Errorf("%s produced no rows under %s engine", id, engine)
-	}
-	//dapper:wallclock closes the engine timing above
-	return time.Since(start).Seconds(), nil
+	return best, nil
 }
 
 func main() {
 	expID := flag.String("exp", "fig11", "experiment id to benchmark")
 	out := flag.String("out", "BENCH_engine.json", "output JSON path (with -check: the baseline to gate against)")
-	check := flag.Bool("check", false, "compare against the -out baseline instead of rewriting it; exit non-zero on >10% speedup-ratio regression")
+	repeat := flag.Int("repeat", 3, "timings per engine; the best is kept")
+	attrBudget := flag.Float64("attr-budget", 0.02, "with -check: allowed growth of normalized event-engine time vs baseline (the attribution-off overhead budget)")
+	check := flag.Bool("check", false, "compare against the -out baseline instead of rewriting it; exit non-zero on >10% speedup-ratio regression or >-attr-budget attribution-off overhead")
 	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
 	fmt.Fprintf(os.Stderr, "benchmarking %s: cycle engine...\n", *expID)
-	cycleS, err := timeRun(*expID, sim.EngineCycle)
+	cycleS, err := timeRun(*expID, sim.EngineCycle, false, *repeat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchmarking %s: event engine...\n", *expID)
-	eventS, err := timeRun(*expID, sim.EngineEvent)
+	eventS, err := timeRun(*expID, sim.EngineEvent, false, *repeat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchmarking %s: event engine, attribution on...\n", *expID)
+	attrS, err := timeRun(*expID, sim.EngineEvent, true, *repeat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
 	r := report{
-		Experiment:   *expID,
-		Profile:      "bench",
-		CycleSeconds: cycleS,
-		EventSeconds: eventS,
-		Speedup:      cycleS / eventS,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Experiment:       *expID,
+		Profile:          "bench",
+		CycleSeconds:     cycleS,
+		EventSeconds:     eventS,
+		Speedup:          cycleS / eventS,
+		AttrEventSeconds: attrS,
+		AttrOverhead:     attrS/eventS - 1,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		//dapper:wallclock benchmark records are timestamped provenance, never cache-keyed
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
@@ -121,7 +157,17 @@ func main() {
 				base.Speedup, r.Speedup)
 			os.Exit(1)
 		}
-		fmt.Println("check passed: engine speedup within 10% of baseline")
+		// The attribution-off overhead gate: all benchmarked runs keep
+		// attribution off, so any growth in normalized event-engine
+		// time (cycle-time units, hence machine-portable) is nil-probe
+		// cost left on the hot paths.
+		if overhead := base.Speedup/r.Speedup - 1; overhead > *attrBudget {
+			fmt.Fprintf(os.Stderr, "check FAILED: attribution-off event-engine overhead %.1f%% exceeds the %.1f%% budget (normalized time %.4f -> %.4f)\n",
+				100*overhead, 100**attrBudget, 1/base.Speedup, 1/r.Speedup)
+			os.Exit(1)
+		}
+		fmt.Printf("check passed: speedup within 10%% of baseline, attribution-off overhead within %.1f%% (attr-on costs %.1f%%)\n",
+			100**attrBudget, 100*r.AttrOverhead)
 		return
 	}
 
@@ -135,6 +181,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: cycle %.2fs, event %.2fs, speedup %.2fx -> %s\n",
-		*expID, cycleS, eventS, r.Speedup, *out)
+	fmt.Printf("%s: cycle %.2fs, event %.2fs, speedup %.2fx, attr-on +%.1f%% -> %s\n",
+		*expID, cycleS, eventS, r.Speedup, 100*r.AttrOverhead, *out)
 }

@@ -61,6 +61,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "disk result-cache directory")
 	outDir := flag.String("out", ".", "output directory for mix-report.{jsonl,csv}")
 	audit := flag.Bool("audit", false, "attach the shadow security oracle to every mix run")
+	attr := flag.Bool("attr", false, "collect slowdown attribution (blame columns in the report rows)")
 	check := flag.Bool("check", false, "exit non-zero on out-of-bounds metrics (and, with -audit, on conformance violations)")
 	benchOut := flag.String("bench", "", "write a runs/sec benchmark JSON to this path")
 	telemetryDir := flag.String("telemetry", "", "write harness telemetry (trace.json for Perfetto + counters.json) to this directory")
@@ -92,6 +93,7 @@ func main() {
 	}
 	p.Engine = engine
 	p.Seed = *seed
+	p.Attribution = *attr
 
 	mode, err := rh.ParseMode(*modeName)
 	if err != nil {
@@ -149,15 +151,18 @@ func main() {
 	if *telemetryDir != "" {
 		tracer = telemetry.NewTracer()
 	}
+	blameAgg := diag.NewBlameAgg()
 	pool := harness.NewPool(harness.Options{
-		Workers: *jobs,
-		Cache:   cache,
-		Tracer:  tracer,
+		OnResult: blameAgg.Observe,
+		Workers:  *jobs,
+		Cache:    cache,
+		Tracer:   tracer,
 		OnProgress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r[%d/%d simulations]", done, total)
 		},
 	})
 	if *debugAddr != "" {
+		blameAgg.Publish()
 		bound, err := diag.Serve(*debugAddr, pool.Stats)
 		if err != nil {
 			fatal(err)

@@ -261,6 +261,64 @@
 // recorded outside the result path and the export is sorted, so equal
 // span sets serialize identically.
 //
+// # Slowdown attribution (telemetry.Attribution, cmd/dapper-blame)
+//
+// Telemetry says when the benign cores slowed down; attribution says
+// why, and who. Setting sim.Config.Attribution (off by default, -attr
+// on the sweep cmds) attaches a second probe layer that classifies
+// every cycle and every cycle of memory wait:
+//
+//   - Per-core CPI stacks (telemetry.CPIStack): each non-retiring
+//     cycle is either dispatch (instructions retired), stall.rob (the
+//     window is full behind an outstanding miss) or stall.bp (the
+//     core is retrying a request the controller pushed back). The
+//     split is exact — Dispatch+StallROB+StallBP == Cycles per core —
+//     and the event engine's closed-form catch-ups fold multi-cycle
+//     segments with identical per-cycle semantics, so both engines
+//     produce byte-identical stacks.
+//   - Per-core memory-wait blame (telemetry.MemBlame): each demand
+//     read's enqueue-to-data time decomposes into nine buckets —
+//     intrinsic service, row conflict, queue time behind other
+//     demand, injected tracker traffic, mitigation blocks (VRR/RFM
+//     the defense issued), refresh, bulk resets, throttling and
+//     scheduling gaps. The controller keeps a per-bank ledger of
+//     blocking segments (first claimer wins, so overlapping causes
+//     never double-bill) and the buckets sum exactly to the measured
+//     wait: conservation is asserted by Attribution.Validate on every
+//     run, per window and grand total.
+//   - The N×N blame matrix (Attribution.Matrix): wait cycles with an
+//     identifiable culprit core — conflicts against rows it opened,
+//     queue time behind its serves, mitigation blocks it triggered —
+//     are charged victim→culprit. Under an attack, the attacker's
+//     column is the per-victim number behind the headline slowdown;
+//     injected (culpritless) traffic stays out of the matrix by
+//     construction.
+//
+// When TelemetryWindow is also set the stacks ride the Series as
+// per-window lanes (Series.Blame), cross-checked against the grand
+// totals by Attribution.CheckSeries. Attribution folds into the cache
+// key (Descriptor's Attr tag) so attributed and plain results never
+// alias, and with the flag off the probes are nil — the hot paths pay
+// a nil check, gated by the same `make bench-check` budget as
+// telemetry. Byte-identical engine equivalence is enforced tracker-by-
+// tracker in sim, exp and adversary attribution equivalence tests,
+// part of `make test-engine-equivalence`.
+//
+// cmd/dapper-blame renders one attributed run per tracker as
+// blame-<id>.{jsonl,csv,txt} plus blame-matrix-<id>.csv (ASCII CPI
+// stacks and bucket bars included), and -check replays the run on the
+// other engine asserting byte-identical attribution plus conservation
+// (`make blame-smoke` is the CI-pinned variant, with the matrix
+// uploaded as an artifact). The sweep reports carry the headline
+// buckets as columns: mix rows (blame_conflict/inject/mitigation/
+// throttle/mem_wait), audit matrix rows and adversary evals
+// (blame_mitigation/blame_inject — whether a found slowdown flows
+// through the defense itself or through plain bandwidth contention).
+// Live, internal/diag's BlameAgg taps harness.Options.OnResult and
+// serves the accumulating per-core stacks at /debug/vars under
+// "blame" while a sweep runs. See examples/blame for the in-process
+// taste: DAPPER-H benign vs hammered at NRH 125, side by side.
+//
 // # Static contracts (internal/analysis, cmd/dapper-lint)
 //
 // Three invariants carry the whole evaluation — runs are

@@ -38,6 +38,13 @@ type Eval struct {
 	// evaluations are unaudited).
 	Escapes  uint64 `json:"escapes,omitempty"`
 	MaxCount uint32 `json:"max_count,omitempty"`
+	// BlameMitigation and BlameInject carry the benign cores' wait
+	// cycles charged to mitigation blocks and tracker-injected traffic
+	// when the run collected slowdown attribution (zero otherwise) —
+	// they say whether a found slowdown flows through the defense
+	// itself or through plain bandwidth contention.
+	BlameMitigation uint64 `json:"blame_mitigation,omitempty"`
+	BlameInject     uint64 `json:"blame_inject,omitempty"`
 }
 
 // Report is the resilience report for one tracker: the worst-found
@@ -110,7 +117,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"tracker", "workload", "mix", "label", "rung", "measure", "norm_perf", "slowdown",
-		"escapes", "max_count", "params",
+		"escapes", "max_count", "blame_mitigation", "blame_inject", "params",
 	}); err != nil {
 		return err
 	}
@@ -122,6 +129,8 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(e.Slowdown, 'g', -1, 64),
 			strconv.FormatUint(e.Escapes, 10),
 			strconv.FormatUint(uint64(e.MaxCount), 10),
+			strconv.FormatUint(e.BlameMitigation, 10),
+			strconv.FormatUint(e.BlameInject, 10),
 			e.Canonical,
 		}
 	}

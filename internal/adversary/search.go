@@ -207,12 +207,20 @@ func (ev *evaluator) evalBatch(cands []*candidate, kinds []attack.Kind, measure 
 			cands[i].escapes, cands[i].maxCount = aud.Escapes, aud.MaxCount
 		}
 		ev.evals++
-		ev.trace = append(ev.trace, Eval{
+		e := Eval{
 			Candidate: cands[i].Candidate,
 			Rung:      rung, Measure: measure,
 			NormPerf: np, Slowdown: sd,
 			Escapes: cands[i].escapes, MaxCount: cands[i].maxCount,
-		})
+		}
+		if a := res.Attribution; a != nil {
+			for _, core := range benign {
+				m := a.Cores[core].Mem
+				e.BlameMitigation += m.Mitigation
+				e.BlameInject += m.Inject
+			}
+		}
+		ev.trace = append(ev.trace, e)
 	}
 	return nil
 }

@@ -72,7 +72,7 @@ type Contract struct {
 var DapperContract = Contract{
 	DescriptorPkg:    "dapper/internal/harness",
 	DescriptorName:   "Descriptor",
-	DescriptorFields: []string{"Tracker", "Mode", "NRH", "Workload", "Attack", "Benign4", "AttackParams", "Geometry", "Timing", "LLCBytes", "Warmup", "Measure", "Seed", "Engine", "Audit", "Mix", "Telemetry", "Extra"},
+	DescriptorFields: []string{"Tracker", "Mode", "NRH", "Workload", "Attack", "Benign4", "AttackParams", "Geometry", "Timing", "LLCBytes", "Warmup", "Measure", "Seed", "Engine", "Audit", "Mix", "Telemetry", "Attr", "Extra"},
 	DescriptorOnly: map[string]string{
 		"NRH":      "tracker threshold; folded into Config.Tracker's factory by exp",
 		"Workload": "selects the traces exp builds into Config.Traces",
@@ -98,6 +98,7 @@ var DapperContract = Contract{
 				"Engine":          {Key: "Engine"},
 				"Observer":        {Key: "Audit"},
 				"TelemetryWindow": {Key: "Telemetry"},
+				"Attribution":     {Key: "Attr"},
 			},
 		},
 		{

@@ -80,7 +80,14 @@ type Core struct {
 	cycles    uint64
 	memReads  uint64
 	memWrites uint64
-	stallCyc  uint64
+	// Zero-dispatch cycles, split by cause: stallROB counts ROB-full /
+	// head-of-ROB waits, stallBP cycles spent retrying a memory access
+	// the hierarchy refused. The discriminator is stalledReq: a core
+	// holding a refused request has already drained its bubbles, so
+	// every zero-dispatch cycle while stalledReq != nil is a
+	// backpressure retry, and every other one is an ROB wait.
+	stallROB uint64
+	stallBP  uint64
 
 	// lastDispatched records how many instructions the most recent Step
 	// dispatched, for NextEvent's progress test; lastStep is the cycle of
@@ -129,7 +136,13 @@ func (c *Core) MemWrites() uint64 { return c.memWrites }
 
 // StallCycles returns cycles in which nothing dispatched (ROB full or
 // memory backpressure).
-func (c *Core) StallCycles() uint64 { return c.stallCyc }
+func (c *Core) StallCycles() uint64 { return c.stallROB + c.stallBP }
+
+// StallBreakdown splits StallCycles into its causes: rob cycles the
+// core waited on ROB retirement (full ROB or an unready head), bp
+// cycles it retried a memory access the hierarchy refused. The two
+// always sum exactly to StallCycles.
+func (c *Core) StallBreakdown() (rob, bp uint64) { return c.stallROB, c.stallBP }
 
 // SetProbe attaches a telemetry probe (nil detaches). The probe sees
 // every stepped cycle exactly once, as uniform segments: the per-cycle
@@ -147,7 +160,8 @@ func (c *Core) Stalled() bool { return c.stalledReq != nil }
 
 // ResetStats zeroes the performance counters (used after warmup).
 func (c *Core) ResetStats() {
-	c.retired, c.cycles, c.memReads, c.memWrites, c.stallCyc = 0, 0, 0, 0, 0
+	c.retired, c.cycles, c.memReads, c.memWrites = 0, 0, 0, 0
+	c.stallROB, c.stallBP = 0, 0
 }
 
 func (c *Core) getReq() *mem.Request {
@@ -258,8 +272,13 @@ func (c *Core) Step(now dram.Cycle) {
 		c.count++
 		dispatched++
 	}
+	bp := c.stalledReq != nil
 	if dispatched == 0 {
-		c.stallCyc++
+		if bp {
+			c.stallBP++
+		} else {
+			c.stallROB++
+		}
 	}
 	c.lastDispatched = dispatched
 	if c.probe != nil {
@@ -267,7 +286,7 @@ func (c *Core) Step(now dram.Cycle) {
 		if dispatched > 0 {
 			disp = 1
 		}
-		c.probe.CoreSegment(now, now+1, c.retired-retiredBefore, disp)
+		c.probe.CoreSegment(now, now+1, c.retired-retiredBefore, disp, bp)
 	}
 }
 
@@ -294,7 +313,7 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 			c.bubbles -= int(n) * Width
 			c.cycles += uint64(n)
 			if c.probe != nil {
-				c.probe.CoreSegment(cyc, cyc+n, uint64(n)*Width, n)
+				c.probe.CoreSegment(cyc, cyc+n, uint64(n)*Width, n, false)
 			}
 			cyc += n - 1
 			continue
@@ -330,7 +349,7 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 				c.bubbles -= disp
 				c.cycles += uint64(m)
 				if c.probe != nil {
-					c.probe.CoreSegment(cyc, cyc+m, uint64(disp), m)
+					c.probe.CoreSegment(cyc, cyc+m, uint64(disp), m, false)
 				}
 				cyc += m - 1
 				continue
@@ -368,12 +387,21 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 				}
 				c.count += disp
 				c.bubbles -= disp
-				c.stallCyc += uint64(n) - uint64((disp+Width-1)/Width)
+				// A frozen stalledReq means the bubbles drained before the
+				// refused issue (disp is then 0), so the whole stretch is
+				// backpressure retry; otherwise it waits on the ROB head.
+				stalls := uint64(n) - uint64((disp+Width-1)/Width)
+				bp := c.stalledReq != nil
+				if bp {
+					c.stallBP += stalls
+				} else {
+					c.stallROB += stalls
+				}
 				c.cycles += uint64(n)
 				if c.probe != nil {
 					// Greedy dispatch fills full-width cycles first, so the
 					// dispatching prefix is ceil(disp/Width) cycles long.
-					c.probe.CoreSegment(cyc, cyc+n, 0, dram.Cycle((disp+Width-1)/Width))
+					c.probe.CoreSegment(cyc, cyc+n, 0, dram.Cycle((disp+Width-1)/Width), bp)
 				}
 				cyc += n - 1
 				continue
@@ -404,15 +432,20 @@ func (c *Core) catchUp(from, to dram.Cycle) {
 			c.bubbles--
 			dispatched++
 		}
+		bp := c.stalledReq != nil
 		if dispatched == 0 {
-			c.stallCyc++
+			if bp {
+				c.stallBP++
+			} else {
+				c.stallROB++
+			}
 		}
 		if c.probe != nil {
 			disp := dram.Cycle(0)
 			if dispatched > 0 {
 				disp = 1
 			}
-			c.probe.CoreSegment(cyc, cyc+1, c.retired-retiredBefore, disp)
+			c.probe.CoreSegment(cyc, cyc+1, c.retired-retiredBefore, disp, bp)
 		}
 	}
 }

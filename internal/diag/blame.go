@@ -1,0 +1,86 @@
+package diag
+
+import (
+	"expvar"
+	"sync"
+
+	"dapper/internal/harness"
+	"dapper/internal/sim"
+)
+
+// blameCoreVars is the published per-core aggregate: the CPI stack
+// counters plus the headline blame buckets, summed over every
+// attribution-enabled result observed so far.
+type blameCoreVars struct {
+	Cycles     uint64 `json:"cycles"`
+	Dispatch   uint64 `json:"dispatch"`
+	StallROB   uint64 `json:"stall_rob"`
+	StallBP    uint64 `json:"stall_bp"`
+	MemTotal   uint64 `json:"mem_total"`
+	Conflict   uint64 `json:"conflict"`
+	Inject     uint64 `json:"inject"`
+	Mitigation uint64 `json:"mitigation"`
+	Throttle   uint64 `json:"throttle"`
+}
+
+// BlameAgg accumulates live per-core CPI-stack and blame counters from
+// attribution-enabled results as a sweep runs. Attach Observe as the
+// pool's Options.OnResult and call Publish once; /debug/vars then
+// shows the aggregate under "blame" while the sweep is still going —
+// the live view of where simulated cycles are being lost. Results
+// without attribution are counted but contribute no cycles.
+type BlameAgg struct {
+	mu      sync.Mutex
+	runs    int // results observed
+	attRuns int // of those, attribution-enabled
+	cores   []blameCoreVars
+}
+
+// NewBlameAgg builds an empty aggregator.
+func NewBlameAgg() *BlameAgg { return &BlameAgg{} }
+
+// Observe folds one completed run into the aggregate. Safe for use as
+// harness.Options.OnResult (the pool serializes callbacks).
+func (b *BlameAgg) Observe(_ harness.Descriptor, res sim.Result) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.runs++
+	a := res.Attribution
+	if a == nil {
+		return
+	}
+	b.attRuns++
+	for len(b.cores) < len(a.Cores) {
+		b.cores = append(b.cores, blameCoreVars{})
+	}
+	for i, c := range a.Cores {
+		v := &b.cores[i]
+		v.Cycles += c.CPI.Cycles
+		v.Dispatch += c.CPI.Dispatch
+		v.StallROB += c.CPI.StallROB
+		v.StallBP += c.CPI.StallBP
+		v.MemTotal += c.Mem.Total
+		v.Conflict += c.Mem.Conflict
+		v.Inject += c.Mem.Inject
+		v.Mitigation += c.Mem.Mitigation
+		v.Throttle += c.Mem.Throttle
+	}
+}
+
+// snapshot returns the expvar value: run counts plus per-core sums.
+func (b *BlameAgg) snapshot() any {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return struct {
+		Runs     int             `json:"runs"`
+		AttrRuns int             `json:"attr_runs"`
+		Cores    []blameCoreVars `json:"cores"`
+	}{b.runs, b.attRuns, append([]blameCoreVars(nil), b.cores...)}
+}
+
+// Publish registers the aggregator as the "blame" expvar. Like Serve's
+// "harness" variable, the first registration wins (expvar panics on
+// duplicates, and tests re-publish freely).
+func (b *BlameAgg) Publish() {
+	publish("blame", expvar.Func(b.snapshot))
+}

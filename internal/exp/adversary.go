@@ -50,16 +50,18 @@ func AdversaryJob(p Profile, trackerID string, w workloads.Workload, nrh uint32,
 		measure = p.Measure
 	}
 	s := runSpec{
-		workload:     w,
-		geo:          p.Geometry,
-		nrh:          nrh,
-		tracker:      build(p.Geometry, nrh, mode),
-		attack:       pt.Kind,
-		attackParams: pt.Params,
-		warmup:       p.Warmup,
-		measure:      measure,
-		seed:         p.Seed,
-		engine:       p.Engine,
+		workload:        w,
+		geo:             p.Geometry,
+		nrh:             nrh,
+		tracker:         build(p.Geometry, nrh, mode),
+		attack:          pt.Kind,
+		attackParams:    pt.Params,
+		warmup:          p.Warmup,
+		measure:         measure,
+		seed:            p.Seed,
+		engine:          p.Engine,
+		telemetryWindow: p.TelemetryWindow,
+		attribution:     p.Attribution,
 	}
 	return harness.Job{
 		Desc: s.descriptor(),
@@ -76,14 +78,16 @@ func AdversaryBaselineJob(p Profile, w workloads.Workload, measure dram.Cycle) h
 		measure = p.Measure
 	}
 	s := runSpec{
-		workload: w,
-		geo:      p.Geometry,
-		nrh:      p.NRH,
-		attack:   attack.None,
-		warmup:   p.Warmup,
-		measure:  measure,
-		seed:     p.Seed,
-		engine:   p.Engine,
+		workload:        w,
+		geo:             p.Geometry,
+		nrh:             p.NRH,
+		attack:          attack.None,
+		warmup:          p.Warmup,
+		measure:         measure,
+		seed:            p.Seed,
+		engine:          p.Engine,
+		telemetryWindow: p.TelemetryWindow,
+		attribution:     p.Attribution,
 	}
 	return harness.Job{
 		Desc: s.descriptor(),

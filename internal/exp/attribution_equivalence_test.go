@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/workloads"
+)
+
+// TestEngineEquivalenceAttributionSweep extends the engine-equivalence
+// matrix with the slowdown-attribution case: three trackers covering
+// the distinct blame paths (DAPPER-H mitigation blocks, BlockHammer
+// throttling, Hydra counter injection), each under a benign co-run and
+// the focused hammer, plus one sampled heterogeneous mix — all with
+// windowed stacks attached. The event engine's catch-up folds must
+// produce an Attribution and Series byte-identical to the per-cycle
+// reference; the conservation gates (CPI partition, blame-bucket sums,
+// windowed fold-back) already run as hard errors inside sim.Run, so a
+// passing run is a conserved run.
+func TestEngineEquivalenceAttributionSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is seconds-long; skipped in -short")
+	}
+	w, err := workloads.ByName("ycsb_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := dram.Baseline()
+	const nrh = 125
+	checkPair := func(t *testing.T, want, got sim.Result) {
+		t.Helper()
+		if want.Attribution == nil || got.Attribution == nil {
+			t.Fatal("attribution-on run carried no Attribution")
+		}
+		if want.Series == nil || want.Series.Blame == nil || want.Series.Cores[0].StallROB == nil {
+			t.Fatal("windowed run carried no blame series / stall split")
+		}
+		for _, pair := range []struct {
+			what string
+			x, y any
+		}{
+			{"attribution", want.Attribution, got.Attribution},
+			{"series", want.Series, got.Series},
+		} {
+			xb, err := json.Marshal(pair.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yb, err := json.Marshal(pair.y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(xb, yb) {
+				t.Fatalf("engines diverge on %s:\n cycle: %s\n event: %s", pair.what, xb, yb)
+			}
+		}
+		if err := want.Attribution.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Attribution.CheckSeries(want.Series); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"dapper-h", "blockhammer", "hydra"} {
+		ts := trackerBuilders[id](geo, nrh, rh.VRR1)
+		for _, atk := range []string{"none", "hammer"} {
+			t.Run(id+"/"+atk, func(t *testing.T) {
+				mk := func(engine sim.Engine) sim.Result {
+					s := runSpec{
+						workload: w,
+						geo:      geo,
+						nrh:      nrh,
+						tracker:  ts,
+						warmup:   dram.US(5),
+						measure:  dram.US(25),
+						seed:     3,
+						engine:   engine,
+						benign4:  atk == "none",
+
+						telemetryWindow: dram.US(5),
+						attribution:     true,
+					}
+					if atk == "hammer" {
+						s.attack, s.attackParams = attack.Parametric, hammerParams()
+					}
+					res, err := run(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				checkPair(t, mk(sim.EngineCycle), mk(sim.EngineEvent))
+			})
+		}
+	}
+	t.Run("mix", func(t *testing.T) {
+		sp := mixTestSpecs()[0]
+		mk := func(engine sim.Engine) sim.Result {
+			p := Tiny()
+			p.Engine = engine
+			p.Attribution = true
+			p.TelemetryWindow = dram.US(5)
+			job, err := MixJob(p, "dapper-h", sp, 500, rh.VRR1, 0, false, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := job.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		checkPair(t, mk(sim.EngineCycle), mk(sim.EngineEvent))
+	})
+}

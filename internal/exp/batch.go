@@ -122,6 +122,7 @@ func (req BatchRequest) Jobs() ([]harness.Job, error) {
 					seed:            p.Seed,
 					engine:          p.Engine,
 					telemetryWindow: p.TelemetryWindow,
+					attribution:     p.Attribution,
 				}
 				jobs = append(jobs, harness.Job{
 					Desc: s.descriptor(),

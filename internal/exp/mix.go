@@ -33,6 +33,8 @@ type mixRunSpec struct {
 	auditInjected bool
 	// telemetryWindow >0 attaches the in-sim windowed sampler.
 	telemetryWindow dram.Cycle
+	// attribution attaches the slowdown-attribution layer.
+	attribution bool
 }
 
 // descriptor returns the spec's deterministic identity. The Mix field
@@ -58,6 +60,7 @@ func (s mixRunSpec) descriptor() harness.Descriptor {
 		Engine:    string(s.engine.OrDefault()),
 		Audit:     auditTagFor(s.audit, s.auditInjected),
 		Telemetry: harness.TelemetryTag(s.telemetryWindow),
+		Attr:      harness.AttrTag(s.attribution),
 	}
 }
 
@@ -75,6 +78,7 @@ func runMix(s mixRunSpec) (sim.Result, error) {
 		Mode:            s.tracker.Mode,
 		Engine:          s.engine,
 		TelemetryWindow: s.telemetryWindow,
+		Attribution:     s.attribution,
 	}
 	if s.tracker.Factory != nil {
 		cfg.Tracker = s.tracker.Factory
@@ -127,6 +131,7 @@ func MixJob(p Profile, trackerID string, spec mix.Spec, nrh uint32,
 		audit:           audit,
 		auditInjected:   countInjected,
 		telemetryWindow: p.TelemetryWindow,
+		attribution:     p.Attribution,
 	}
 	return harness.Job{
 		Desc: s.descriptor(),
@@ -303,6 +308,19 @@ func RunMixSweep(req MixRequest, pool *harness.Pool) ([]mix.ReportRow, error) {
 			rows[i].Secure = rep.Secure()
 			rows[i].Escapes = rep.Escapes
 			rows[i].MaxCount = rep.MaxCount
+		}
+		if attr := res.Attribution; attr != nil {
+			rows[i].Attr = true
+			// Blame columns aggregate the benign (victim) cores only:
+			// the attacker's own wait is not the fairness story.
+			for _, c := range cell.Spec.BenignCores() {
+				m := attr.Cores[c].Mem
+				rows[i].BlameConflict += m.Conflict
+				rows[i].BlameInject += m.Inject
+				rows[i].BlameMitigation += m.Mitigation
+				rows[i].BlameThrottle += m.Throttle
+				rows[i].BlameMemWait += m.Total
+			}
 		}
 	}
 	return rows, nil

@@ -50,6 +50,13 @@ type Profile struct {
 	// so telemetry runs never share cache entries with plain ones.
 	TelemetryWindow dram.Cycle
 
+	// Attribution, when set, attaches the slowdown-attribution layer to
+	// every run this profile produces (sim.Config.Attribution); each
+	// Result then carries CPI stacks and the blame matrix, and
+	// descriptors gain an attr tag, so attribution runs never share
+	// cache entries with plain ones.
+	Attribution bool
+
 	// hctx, when set by Generate, routes every simulation request
 	// through the harness collect/replay machinery instead of running
 	// inline. Profiles built by Quick/Full/Tiny leave it nil (serial).

@@ -45,6 +45,10 @@ type runSpec struct {
 	// telemetryWindow >0 attaches the in-sim windowed sampler (the
 	// Result gains a Series; the descriptor gains a telemetry tag).
 	telemetryWindow dram.Cycle
+	// attribution attaches the slowdown-attribution layer (the Result
+	// gains CPI stacks and the blame matrix; the descriptor gains an
+	// attr tag).
+	attribution bool
 }
 
 // auditTag versions the oracle for cache keys: bump it whenever the
@@ -96,6 +100,7 @@ func (s runSpec) descriptor() harness.Descriptor {
 		Engine:       string(s.engine.OrDefault()),
 		Audit:        s.auditDescTag(),
 		Telemetry:    harness.TelemetryTag(s.telemetryWindow),
+		Attr:         harness.AttrTag(s.attribution),
 	}
 }
 
@@ -124,6 +129,7 @@ func run(s runSpec) (sim.Result, error) {
 		Mode:            s.tracker.Mode,
 		Engine:          s.engine,
 		TelemetryWindow: s.telemetryWindow,
+		Attribution:     s.attribution,
 	}
 	if s.tracker.Factory != nil {
 		cfg.Tracker = s.tracker.Factory
@@ -166,6 +172,7 @@ func newRunner(p Profile) *runner {
 func (r *runner) exec(s runSpec) (sim.Result, error) {
 	s.engine = r.p.Engine
 	s.telemetryWindow = r.p.TelemetryWindow
+	s.attribution = r.p.Attribution
 	h := r.p.hctx
 	if h == nil {
 		return run(s)

@@ -114,18 +114,20 @@ func (req SecurityRequest) Jobs() ([]harness.Job, []SecurityCell, error) {
 						}
 					}
 					s := runSpec{
-						workload:      req.Workload,
-						geo:           p.Geometry,
-						nrh:           nrh,
-						tracker:       ts,
-						attack:        atk.Point.Kind,
-						attackParams:  atk.Point.Params,
-						warmup:        p.Warmup,
-						measure:       p.Measure,
-						seed:          p.Seed,
-						engine:        p.Engine,
-						audit:         true,
-						auditInjected: req.CountInjected,
+						workload:        req.Workload,
+						geo:             p.Geometry,
+						nrh:             nrh,
+						tracker:         ts,
+						attack:          atk.Point.Kind,
+						attackParams:    atk.Point.Params,
+						warmup:          p.Warmup,
+						measure:         p.Measure,
+						seed:            p.Seed,
+						engine:          p.Engine,
+						audit:           true,
+						auditInjected:   req.CountInjected,
+						telemetryWindow: p.TelemetryWindow,
+						attribution:     p.Attribution,
 					}
 					jobs = append(jobs, harness.Job{
 						Desc: s.descriptor(),
@@ -161,18 +163,20 @@ func SecurityJob(p Profile, trackerID string, w workloads.Workload, nrh uint32,
 		measure = p.Measure
 	}
 	s := runSpec{
-		workload:      w,
-		geo:           p.Geometry,
-		nrh:           nrh,
-		tracker:       build(p.Geometry, nrh, mode),
-		attack:        pt.Kind,
-		attackParams:  pt.Params,
-		warmup:        p.Warmup,
-		measure:       measure,
-		seed:          p.Seed,
-		engine:        p.Engine,
-		audit:         true,
-		auditInjected: countInjected,
+		workload:        w,
+		geo:             p.Geometry,
+		nrh:             nrh,
+		tracker:         build(p.Geometry, nrh, mode),
+		attack:          pt.Kind,
+		attackParams:    pt.Params,
+		warmup:          p.Warmup,
+		measure:         measure,
+		seed:            p.Seed,
+		engine:          p.Engine,
+		audit:           true,
+		auditInjected:   countInjected,
+		telemetryWindow: p.TelemetryWindow,
+		attribution:     p.Attribution,
 	}
 	return harness.Job{
 		Desc: s.descriptor(),

@@ -71,6 +71,13 @@ type Descriptor struct {
 	// not alias each other.
 	Telemetry string `json:"telemetry,omitempty"`
 
+	// Attr tags runs collecting slowdown attribution ("v1" when
+	// sim.Config.Attribution is set, empty otherwise). Attribution-on
+	// Results embed the CPI stacks and blame matrix, so they must never
+	// alias an attribution-off cache entry; the tag also versions the
+	// attribution schema so its evolution invalidates stale records.
+	Attr string `json:"attr,omitempty"`
+
 	// Extra disambiguates runs varied by a knob not listed above.
 	Extra string `json:"extra,omitempty"`
 }
@@ -84,6 +91,15 @@ func TelemetryTag(window dram.Cycle) string {
 	return fmt.Sprintf("w%d", window)
 }
 
+// AttrTag returns the canonical Descriptor.Attr encoding for the
+// attribution switch ("" when attribution is off).
+func AttrTag(on bool) string {
+	if !on {
+		return ""
+	}
+	return "v1"
+}
+
 // Key returns the content address: a hex SHA-256 over a canonical
 // field-ordered encoding. Stable across processes and Go versions.
 func (d Descriptor) Key() string {
@@ -91,11 +107,11 @@ func (d Descriptor) Key() string {
 	g := d.Geometry
 	fmt.Fprintf(h,
 		"tracker=%s|mode=%s|nrh=%d|workload=%s|attack=%s|aparams=%s|benign4=%t|"+
-			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|audit=%s|mix=%s|telemetry=%s|extra=%s",
+			"geo=%d.%d.%d.%d.%d.%d.%d|timing=%s|llc=%d|warmup=%d|measure=%d|seed=%d|engine=%s|audit=%s|mix=%s|telemetry=%s|attr=%s|extra=%s",
 		d.Tracker, d.Mode, d.NRH, d.Workload, d.Attack, d.AttackParams, d.Benign4,
 		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.RowsPerBank,
 		g.RowBytes, g.LineBytes,
-		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Audit, d.Mix, d.Telemetry, d.Extra)
+		d.Timing, d.LLCBytes, d.Warmup, d.Measure, d.Seed, d.Engine, d.Audit, d.Mix, d.Telemetry, d.Attr, d.Extra)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -35,8 +35,8 @@ func goldenSeries() *telemetry.Series {
 	cp.QueueSample(dram.US(18), 0, 0)
 	cp.TableSample(dram.US(15), 12, 64, 0)
 	cp.TableSample(dram.US(30), 4, 64, 1)
-	rec.CoreProbe(0).CoreSegment(0, dram.US(35), uint64(dram.US(35))*2, dram.US(30))
-	rec.CoreProbe(1).CoreSegment(0, dram.US(35), 0, 0)
+	rec.CoreProbe(0).CoreSegment(0, dram.US(35), uint64(dram.US(35))*2, dram.US(30), false)
+	rec.CoreProbe(1).CoreSegment(0, dram.US(35), 0, 0, false)
 	return rec.Finish()
 }
 

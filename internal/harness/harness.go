@@ -27,6 +27,7 @@ package harness
 import (
 	"runtime"
 
+	"dapper/internal/sim"
 	"dapper/internal/telemetry"
 )
 
@@ -44,6 +45,12 @@ type Options struct {
 	// OnProgress, if non-nil, is called after each job finishes with
 	// the number of finished and submitted unique jobs.
 	OnProgress func(done, total int)
+	// OnResult, if non-nil, is called after each successful job (cached
+	// or freshly simulated) with its descriptor and result, serialized
+	// under the same lock as OnProgress. Purely observational — live
+	// dashboards (internal/diag's blame aggregator) tap it; results,
+	// ordering and caching are unaffected.
+	OnResult func(Descriptor, sim.Result)
 	// Tracer, if non-nil, records per-job spans (queue wait, execution,
 	// cache hits, sink flushes) for Chrome-trace export. Purely
 	// observational: results, ordering and caching are unaffected.

@@ -85,6 +85,7 @@ type Pool struct {
 	cache      *Cache
 	sinks      []Sink
 	onProgress func(done, total int)
+	onResult   func(Descriptor, sim.Result)
 	tracer     *telemetry.Tracer
 	workers    int
 	slots      chan int // worker ids 0..workers-1; doubles as the semaphore
@@ -109,6 +110,7 @@ func NewPool(opts Options) *Pool {
 		cache:      opts.Cache,
 		sinks:      opts.Sinks,
 		onProgress: opts.OnProgress,
+		onResult:   opts.OnResult,
 		tracer:     opts.Tracer,
 		workers:    n,
 		slots:      make(chan int, n),
@@ -237,6 +239,9 @@ func (p *Pool) finish(f *Future, err error, elapsed time.Duration) {
 	close(f.done)
 	if cb != nil {
 		cb(done, total)
+	}
+	if err == nil && p.onResult != nil {
+		p.onResult(f.desc, f.res)
 	}
 	p.cbMu.Unlock()
 }

@@ -25,6 +25,11 @@ type Request struct {
 	EnqueuedAt dram.Cycle
 	DoneAt     dram.Cycle
 	Done       bool
+	// ThrottleFreeAt, set at enqueue on attribution runs with a
+	// throttling tracker, is the first cycle the throttle would have
+	// admitted this request's activation — the blame recorder charges
+	// queue gaps before it to the Throttle bucket.
+	ThrottleFreeAt dram.Cycle
 }
 
 // Stats aggregates controller-side performance counters. ReadsServed,
@@ -49,7 +54,14 @@ type Controller struct {
 	mode    rh.MitigationMode
 	obs     rh.Observer               // optional security-event tap (nil = none)
 	probe   telemetry.ControllerProbe // optional telemetry tap (nil = none)
+	blame   telemetry.BlameProbe      // optional attribution tap (nil = none)
 	tblRep  rh.TableReporter          // cached tracker table-occupancy view
+
+	// openers, allocated only with a blame probe attached, tracks per
+	// flat bank who opened the currently open row: a core id, -1 for
+	// none / a write-back, -2 for injected counter traffic. It is what
+	// lets a row-buffer conflict name its culprit.
+	openers []int16
 
 	banks []dram.Bank
 	ranks []dram.Rank
@@ -128,6 +140,32 @@ func (c *Controller) SetProbe(p telemetry.ControllerProbe) {
 	}
 }
 
+// SetBlameProbe attaches the slowdown-attribution probe (nil
+// detaches): one ServeEvent per request leaving the queue and one
+// BlameBlock per bank-blocking interval (mitigation, REF, bulk sweep).
+// Purely passive; a detached probe costs one nil check per event,
+// which the bench gate holds under 2%. Attach before the first Tick.
+func (c *Controller) SetBlameProbe(p telemetry.BlameProbe) {
+	c.blame = p
+	c.openers = nil
+	if p != nil {
+		c.openers = make([]int16, len(c.banks))
+		for i := range c.openers {
+			c.openers[i] = -1
+		}
+	}
+}
+
+// blameBlock reports a bank-blocking interval to the blame probe; the
+// nil guard is the entire attribution-off cost on the mitigation path.
+//
+//dapper:hot
+func (c *Controller) blameBlock(fb int, from, to dram.Cycle, cause telemetry.BlameCause, culprit int) {
+	if c.blame != nil {
+		c.blame.BlameBlock(fb, from, to, cause, culprit)
+	}
+}
+
 // sampleQueue reports the post-change queue population to the probe.
 // It runs on every enqueue/dequeue; the nil guard is the entire
 // telemetry-off cost, which the bench gate holds under 2%.
@@ -169,6 +207,10 @@ func (c *Controller) Enqueue(r *Request, now dram.Cycle) bool {
 	}
 	r.Done = false
 	r.EnqueuedAt = now
+	r.ThrottleFreeAt = 0
+	if c.blame != nil && c.throt != nil {
+		r.ThrottleFreeAt = c.throt.NextAllowed(now, r.Loc)
+	}
 	c.queue = append(c.queue, r)
 	c.resetConsider(now + 1)
 	c.version++
@@ -231,6 +273,7 @@ func (c *Controller) refreshTick(now dram.Cycle) {
 			base := r * c.geo.BanksPerRank()
 			for b := 0; b < c.geo.BanksPerRank(); b++ {
 				c.banks[base+b].Block(until)
+				c.blameBlock(base+b, at, until, telemetry.CauseREF, -1)
 			}
 			rk.NextRefAt += c.tim.TREFI
 			c.counters.REF++
@@ -244,7 +287,7 @@ func (c *Controller) refreshTick(now dram.Cycle) {
 	for now >= c.nextTrackerTick {
 		at := c.nextTrackerTick
 		c.actBuf = c.tracker.Tick(at, c.actBuf[:0])
-		c.applyActions(at, c.actBuf)
+		c.applyActions(at, c.actBuf, -1)
 		c.nextTrackerTick += c.tim.TREFI
 		if c.tblRep != nil {
 			occ := c.tblRep.TableOccupancy()
@@ -416,6 +459,7 @@ func (c *Controller) service(r *Request, now dram.Cycle) {
 
 	var latency dram.Cycle
 	activated := false
+	conflict := false
 	switch {
 	case bank.OpenRow == r.Loc.Row:
 		latency = c.tim.RowHitLatency()
@@ -432,7 +476,21 @@ func (c *Controller) service(r *Request, now dram.Cycle) {
 		bank.LastActAt = actAt
 		rank.LastActAt = actAt
 		activated = true
+		conflict = true
 		c.stats.RowMisses++
+	}
+	// Capture who opened the row this request conflicts with before
+	// the bank state mutates, and record the new opener.
+	opener := -1
+	if c.openers != nil {
+		opener = int(c.openers[fb])
+		if activated {
+			if r.Injected {
+				c.openers[fb] = -2
+			} else {
+				c.openers[fb] = int16(r.Core)
+			}
+		}
 	}
 	bank.OpenRow = r.Loc.Row
 
@@ -473,6 +531,10 @@ func (c *Controller) service(r *Request, now dram.Cycle) {
 		c.stats.TotalReadWait += dataEnd - r.EnqueuedAt
 	}
 
+	if c.blame != nil {
+		c.emitServe(r, fb, now, dataEnd, latency-c.tim.RowHitLatency(), activated, conflict, opener)
+	}
+
 	if activated {
 		c.counters.ACT++
 		if c.obs != nil {
@@ -480,14 +542,54 @@ func (c *Controller) service(r *Request, now dram.Cycle) {
 		}
 		if !r.Injected {
 			c.actBuf = c.tracker.OnActivate(bank.LastActAt, r.Loc, c.actBuf[:0])
-			c.applyActions(bank.LastActAt, c.actBuf)
+			c.applyActions(bank.LastActAt, c.actBuf, r.Core)
 		}
 	}
 }
 
+// emitServe reports one serve to the blame probe (c.blame non-nil).
+// r is still in its queue here, so the pruning watermark scan skips it
+// by identity; with both queues otherwise empty the watermark is `now`
+// — never a future cycle, since future-dated block segments must
+// survive until every waiter that could overlap them has been served.
+func (c *Controller) emitServe(r *Request, fb int, now, dataEnd, extra dram.Cycle, activated, conflict bool, opener int) {
+	minEnq := now
+	first := true
+	for _, q := range c.queue {
+		if q != r && (first || q.EnqueuedAt < minEnq) {
+			minEnq, first = q.EnqueuedAt, false
+		}
+	}
+	for _, q := range c.injected {
+		if q != r && (first || q.EnqueuedAt < minEnq) {
+			minEnq, first = q.EnqueuedAt, false
+		}
+	}
+	var tf dram.Cycle
+	if activated && !r.Injected {
+		tf = r.ThrottleFreeAt
+	}
+	c.blame.BlameServe(telemetry.ServeEvent{
+		Bank:         fb,
+		Core:         r.Core,
+		Injected:     r.Injected,
+		IsWrite:      r.IsWrite,
+		Enqueued:     r.EnqueuedAt,
+		Start:        now,
+		DataEnd:      dataEnd,
+		Extra:        extra,
+		Conflict:     conflict,
+		Opener:       opener,
+		ThrottleFree: tf,
+		MinEnqueued:  minEnq,
+	})
+}
+
 // applyActions executes tracker actions: mitigation blocking and
-// injected counter traffic.
-func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action) {
+// injected counter traffic. culprit is the core whose activation
+// triggered the actions (-1 for periodic tracker ticks); the blame
+// layer charges mitigation blocks to it.
+func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action, culprit int) {
 	for i := range acts {
 		a := &acts[i]
 		switch a.Kind {
@@ -496,22 +598,22 @@ func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action) {
 			if c.mode == rh.VRR2 {
 				dur = c.tim.TVRR2
 			}
-			c.blockBank(a.Loc, dur, now)
+			c.blockBank(a.Loc, dur, now, telemetry.CauseVRR, culprit)
 			c.counters.VRR++
 			c.observeMitigation(now, a)
 		case rh.RefreshVictimsRFMsb:
-			c.blockSameBank(a.Loc, c.tim.TRFMsb, now)
+			c.blockSameBank(a.Loc, c.tim.TRFMsb, now, telemetry.CauseRFMsb, culprit)
 			c.counters.RFMsb++
 			c.observeMitigation(now, a)
 		case rh.RefreshVictimsDRFMsb:
-			c.blockSameBank(a.Loc, c.tim.TDRFMsb, now)
+			c.blockSameBank(a.Loc, c.tim.TDRFMsb, now, telemetry.CauseDRFMsb, culprit)
 			c.counters.DRFMsb++
 			c.observeMitigation(now, a)
 		case rh.BulkRefreshRank:
-			c.bulkRefreshRank(now, a.Loc.Rank)
+			c.bulkRefreshRank(now, a.Loc.Rank, culprit)
 		case rh.BulkRefreshChannel:
 			for rk := 0; rk < c.geo.Ranks; rk++ {
-				c.bulkRefreshRank(now, rk)
+				c.bulkRefreshRank(now, rk, culprit)
 			}
 		case rh.InjectRead, rh.InjectWrite:
 			req := &Request{
@@ -537,30 +639,33 @@ func (c *Controller) observeMitigation(now dram.Cycle, a *rh.Action) {
 
 // blockBank blocks the single bank of loc for dur, starting when the
 // bank next comes free (mitigations queue behind in-flight work). now is
-// the cycle the triggering action is applied at.
-func (c *Controller) blockBank(loc dram.Loc, dur, now dram.Cycle) {
-	bank := &c.banks[c.geo.FlatBank(loc)]
+// the cycle the triggering action is applied at; cause/culprit feed the
+// blame layer.
+func (c *Controller) blockBank(loc dram.Loc, dur, now dram.Cycle, cause telemetry.BlameCause, culprit int) {
+	fb := c.geo.FlatBank(loc)
+	bank := &c.banks[fb]
 	start := bank.ReadyAt
 	if bank.BlockedUntil > start {
 		start = bank.BlockedUntil
 	}
 	bank.Block(start + dur)
+	c.blameBlock(fb, start, start+dur, cause, culprit)
 	c.resetConsider(now)
 }
 
 // blockSameBank blocks the same bank index across every bank group of
 // loc's rank (RFMsb/DRFMsb semantics, §VI-G).
-func (c *Controller) blockSameBank(loc dram.Loc, dur, now dram.Cycle) {
+func (c *Controller) blockSameBank(loc dram.Loc, dur, now dram.Cycle, cause telemetry.BlameCause, culprit int) {
 	for bg := 0; bg < c.geo.BankGroups; bg++ {
 		l := loc
 		l.BankGroup = bg
-		c.blockBank(l, dur, now)
+		c.blockBank(l, dur, now, cause, culprit)
 	}
 }
 
 // bulkRefreshRank blocks the whole rank for a full row sweep: the
 // structure-reset penalty of CoMeT/ABACUS (~2.4ms for 64K-row banks).
-func (c *Controller) bulkRefreshRank(now dram.Cycle, rankID int) {
+func (c *Controller) bulkRefreshRank(now dram.Cycle, rankID int, culprit int) {
 	dur := c.tim.BulkSweep(c.geo.RowsPerBank)
 	until := now + dur
 	rk := &c.ranks[rankID]
@@ -568,6 +673,7 @@ func (c *Controller) bulkRefreshRank(now dram.Cycle, rankID int) {
 	base := rankID * c.geo.BanksPerRank()
 	for b := 0; b < c.geo.BanksPerRank(); b++ {
 		c.banks[base+b].Block(until)
+		c.blameBlock(base+b, now, until, telemetry.CauseBulk, culprit)
 	}
 	c.counters.BulkEvents++
 	c.counters.BulkRows += uint64(c.geo.BanksPerRank()) * uint64(c.geo.RowsPerBank)

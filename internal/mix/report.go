@@ -40,6 +40,18 @@ type ReportRow struct {
 	Secure   bool   `json:"secure,omitempty"`
 	Escapes  uint64 `json:"escapes,omitempty"`
 	MaxCount uint32 `json:"max_count,omitempty"`
+
+	// Attr marks rows whose run carried slowdown attribution; the blame
+	// columns aggregate the benign cores' memory-wait decomposition
+	// (cycles lost to row conflicts, tracker-injected traffic,
+	// mitigation blocks, throttling, and the overall wait) so a
+	// fairness number comes with its *why*.
+	Attr            bool   `json:"attr,omitempty"`
+	BlameConflict   uint64 `json:"blame_conflict,omitempty"`
+	BlameInject     uint64 `json:"blame_inject,omitempty"`
+	BlameMitigation uint64 `json:"blame_mitigation,omitempty"`
+	BlameThrottle   uint64 `json:"blame_throttle,omitempty"`
+	BlameMemWait    uint64 `json:"blame_mem_wait,omitempty"`
 }
 
 // reportHeader is the fixed CSV column set, mirroring ReportRow's JSON
@@ -50,6 +62,8 @@ var reportHeader = []string{
 	"weighted_speedup", "harmonic_speedup", "fairness",
 	"min_speedup", "max_speedup", "per_core_speedup",
 	"audited", "secure", "escapes", "max_count",
+	"attr", "blame_conflict", "blame_inject", "blame_mitigation",
+	"blame_throttle", "blame_mem_wait",
 }
 
 // WriteReportJSONL streams rows as one JSON object per line, in the
@@ -88,6 +102,12 @@ func WriteReportCSV(w io.Writer, rows []ReportRow) error {
 			strconv.FormatBool(r.Audited), strconv.FormatBool(r.Secure),
 			strconv.FormatUint(r.Escapes, 10),
 			strconv.FormatUint(uint64(r.MaxCount), 10),
+			strconv.FormatBool(r.Attr),
+			strconv.FormatUint(r.BlameConflict, 10),
+			strconv.FormatUint(r.BlameInject, 10),
+			strconv.FormatUint(r.BlameMitigation, 10),
+			strconv.FormatUint(r.BlameThrottle, 10),
+			strconv.FormatUint(r.BlameMemWait, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -33,6 +33,15 @@ type MatrixRow struct {
 	Refreshes    uint64 `json:"refreshes"`
 	BulkResets   uint64 `json:"bulk_resets"`
 	Throttled    uint64 `json:"throttled"`
+
+	// Attr marks rows whose run carried slowdown attribution; the blame
+	// columns aggregate the benign cores' wait cycles lost to the
+	// mitigation path itself (blocks, injected counter traffic,
+	// throttling) — the security/performance coupling in numbers.
+	Attr            bool   `json:"attr,omitempty"`
+	BlameMitigation uint64 `json:"blame_mitigation,omitempty"`
+	BlameInject     uint64 `json:"blame_inject,omitempty"`
+	BlameThrottle   uint64 `json:"blame_throttle,omitempty"`
 }
 
 // matrixHeader is the fixed CSV column set, mirroring MatrixRow's JSON
@@ -41,6 +50,7 @@ var matrixHeader = []string{
 	"tracker", "tracker_name", "mode", "nrh", "attack", "workload", "profile",
 	"secure", "escapes", "escaped_rows", "max_count", "margin",
 	"acts", "injected_acts", "mitigations", "refreshes", "bulk_resets", "throttled",
+	"attr", "blame_mitigation", "blame_inject", "blame_throttle",
 }
 
 // WriteMatrixJSONL streams rows as one JSON object per line, in the
@@ -77,6 +87,10 @@ func WriteMatrixCSV(w io.Writer, rows []MatrixRow) error {
 			strconv.FormatUint(r.Refreshes, 10),
 			strconv.FormatUint(r.BulkResets, 10),
 			strconv.FormatUint(r.Throttled, 10),
+			strconv.FormatBool(r.Attr),
+			strconv.FormatUint(r.BlameMitigation, 10),
+			strconv.FormatUint(r.BlameInject, 10),
+			strconv.FormatUint(r.BlameThrottle, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

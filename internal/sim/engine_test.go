@@ -11,6 +11,7 @@ import (
 	"dapper/internal/cpu"
 	"dapper/internal/dram"
 	"dapper/internal/rh"
+	"dapper/internal/telemetry"
 	"dapper/internal/trackers/blockhammer"
 	"dapper/internal/trackers/comet"
 	"dapper/internal/trackers/hydra"
@@ -174,6 +175,84 @@ func TestEngineEquivalenceTelemetry(t *testing.T) {
 			onStripped.Series = nil
 			if !reflect.DeepEqual(off, onStripped) {
 				t.Fatalf("telemetry perturbed the Result:\n off: %+v\n on:  %+v", off, onStripped)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceAttribution extends the equivalence matrix to
+// the slowdown-attribution layer: Result.Attribution (CPI stacks,
+// blame buckets, the core→core matrix) and the windowed blame series
+// must be byte-identical between the cycle and event engines, and
+// switching attribution on must not perturb any other Result field.
+// Every run here also passes sim.Run's internal conservation checks
+// (CPI buckets sum to cycles; blame sums to the measured read wait;
+// window sums equal grand totals) — a failure surfaces as a Run error.
+func TestEngineEquivalenceAttribution(t *testing.T) {
+	g := dram.Baseline()
+	for _, sc := range engineScenarios(g) {
+		t.Run(sc.name, func(t *testing.T) {
+			mk := func(e Engine, attr bool) Config {
+				cfg := scenarioConfig(t, g, sc)
+				cfg.Engine = e
+				cfg.TelemetryWindow = dram.US(5)
+				cfg.Attribution = attr
+				return cfg
+			}
+			want := MustRun(mk(EngineCycle, true))
+			got := MustRun(mk(EngineEvent, true))
+			if want.Attribution == nil || got.Attribution == nil {
+				t.Fatal("Attribution set but Result.Attribution missing")
+			}
+			wantJSON, err := json.Marshal(want.Attribution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(got.Attribution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Fatalf("Attribution diverges between engines:\n cycle: %s\n event: %s", wantJSON, gotJSON)
+			}
+			wantSeries, _ := json.Marshal(want.Series)
+			gotSeries, _ := json.Marshal(got.Series)
+			if !bytes.Equal(wantSeries, gotSeries) {
+				t.Fatal("windowed stacks (Series with blame) diverge between engines")
+			}
+			if got.Series.Blame == nil || got.Series.Cores[0].StallROB == nil {
+				t.Fatal("attribution+telemetry run must carry windowed blame and the stall split")
+			}
+			// Attribution must be purely additive: all other fields match
+			// an attribution-off run exactly (the Series differs only by
+			// the blame/stall-split extensions, so compare it separately).
+			off := MustRun(mk(EngineEvent, false))
+			if off.Attribution != nil {
+				t.Fatal("Attribution present with attribution off")
+			}
+			if off.Series.Blame != nil || off.Series.Cores[0].StallROB != nil {
+				t.Fatal("blame series present with attribution off")
+			}
+			onStripped := got
+			onStripped.Attribution = nil
+			onStripped.Series = off.Series
+			if !reflect.DeepEqual(off, onStripped) {
+				t.Fatalf("attribution perturbed the Result:\n off: %+v\n on:  %+v", off, onStripped)
+			}
+			// The telemetry series itself must also be untouched apart
+			// from the additive blame/stall-split extensions.
+			stripped := *got.Series
+			stripped.Blame = nil
+			coresCopy := make([]telemetry.CoreSeries, len(stripped.Cores))
+			copy(coresCopy, stripped.Cores)
+			for i := range coresCopy {
+				coresCopy[i].StallROB, coresCopy[i].StallBP = nil, nil
+			}
+			stripped.Cores = coresCopy
+			strippedJSON, _ := json.Marshal(&stripped)
+			offSeriesJSON, _ := json.Marshal(off.Series)
+			if !bytes.Equal(strippedJSON, offSeriesJSON) {
+				t.Fatal("attribution perturbed the telemetry series beyond its additive extensions")
 			}
 		})
 	}

@@ -99,6 +99,17 @@ type Config struct {
 	// on any hot path is a nil check. The fold is exact under time-skip,
 	// so the Series is byte-identical across engines and reruns.
 	TelemetryWindow dram.Cycle
+	// Attribution, when set, turns on the slowdown-attribution layer:
+	// Result.Attribution carries per-core CPI stacks (dispatch vs
+	// ROB-full vs backpressure), per-core memory-blame breakdowns, and
+	// the N×N core→core interference blame matrix. When TelemetryWindow
+	// is also set, windowed blame series and the stall split ride
+	// Result.Series. Off (the default), no blame probes attach and the
+	// only cost on any hot path is a nil check. The attribution is
+	// exact arithmetic on event timestamps: byte-identical across
+	// engines, and conservation-checked on every run (CPI buckets sum
+	// to cycles; blame buckets sum to the controller's read wait).
+	Attribution bool
 }
 
 // withDefaults fills zero fields with Table I values.
@@ -151,6 +162,10 @@ type Result struct {
 	// field it covers the whole run including warmup — dynamics are the
 	// point — with the warmup boundary recorded inside.
 	Series *telemetry.Series `json:"Series,omitempty"`
+	// Attribution carries the slowdown-attribution stacks when
+	// Config.Attribution was set (nil otherwise). Like Series it covers
+	// the whole run including warmup.
+	Attribution *telemetry.Attribution `json:"Attribution,omitempty"`
 }
 
 // Run executes the simulation.
@@ -174,11 +189,26 @@ func Run(cfg Config) (Result, error) {
 	if cfg.TelemetryWindow > 0 {
 		var err error
 		rec, err = telemetry.NewRecorder(telemetry.RecorderConfig{
-			Cores:    len(cfg.Traces),
-			Channels: cfg.Geometry.Channels,
-			Window:   cfg.TelemetryWindow,
-			End:      end,
-			Warmup:   cfg.Warmup,
+			Cores:       len(cfg.Traces),
+			Channels:    cfg.Geometry.Channels,
+			Window:      cfg.TelemetryWindow,
+			End:         end,
+			Warmup:      cfg.Warmup,
+			SplitStalls: cfg.Attribution,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var blameRec *telemetry.BlameRecorder
+	if cfg.Attribution {
+		var err error
+		blameRec, err = telemetry.NewBlameRecorder(telemetry.BlameRecorderConfig{
+			Cores:           len(cfg.Traces),
+			Channels:        cfg.Geometry.Channels,
+			BanksPerChannel: cfg.Geometry.BanksPerChannel(),
+			Window:          cfg.TelemetryWindow,
+			End:             end,
 		})
 		if err != nil {
 			return Result{}, err
@@ -211,6 +241,9 @@ func Run(cfg Config) (Result, error) {
 		if rec != nil {
 			obs = rh.Tee(obs, rec.Observer(ch))
 			controllers[ch].SetProbe(rec.ControllerProbe(ch))
+		}
+		if blameRec != nil {
+			controllers[ch].SetBlameProbe(blameRec.Probe(ch))
 		}
 		if obs != nil {
 			controllers[ch].SetObserver(obs)
@@ -273,8 +306,50 @@ func Run(cfg Config) (Result, error) {
 	for _, t := range trackers {
 		res.TrackerNames = append(res.TrackerNames, t.Name())
 	}
+	var series *telemetry.Series
 	if rec != nil {
-		series := rec.Finish()
+		series = rec.Finish()
+	}
+	if blameRec != nil {
+		attr := blameRec.Finish()
+		for i, c := range cores {
+			rob, bp := c.StallBreakdown()
+			cyc := c.Cycles()
+			attr.Cores[i].CPI = telemetry.CPIStack{
+				Cycles:   cyc,
+				Dispatch: cyc - rob - bp,
+				StallROB: rob,
+				StallBP:  bp,
+			}
+		}
+		if err := attr.Validate(); err != nil {
+			return Result{}, err
+		}
+		// Grand-total conservation against the controllers' own
+		// accounting: every core's cycle count is the run length, and
+		// the blame buckets across cores sum exactly to the cumulative
+		// demand-read wait the controllers measured.
+		var blameTotal uint64
+		for i := range attr.Cores {
+			if attr.Cores[i].CPI.Cycles != uint64(end) {
+				return Result{}, fmt.Errorf("sim: attribution conservation violated: core %d counted %d cycles, run has %d",
+					i, attr.Cores[i].CPI.Cycles, end)
+			}
+			blameTotal += attr.Cores[i].Mem.Total
+		}
+		if blameTotal != uint64(final.mem.TotalReadWait) {
+			return Result{}, fmt.Errorf("sim: attribution conservation violated: blame total %d != read wait %d",
+				blameTotal, final.mem.TotalReadWait)
+		}
+		if series != nil {
+			series.Blame = blameRec.WindowSeries()
+			if err := attr.CheckSeries(series); err != nil {
+				return Result{}, err
+			}
+		}
+		res.Attribution = attr
+	}
+	if series != nil {
 		if err := series.Validate(); err != nil {
 			return Result{}, err
 		}

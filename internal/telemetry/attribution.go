@@ -1,0 +1,663 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"dapper/internal/dram"
+)
+
+// This file is the slowdown-attribution layer: exact cycle accounting
+// for *why* a core lost cycles. Two decompositions ride together:
+//
+//   - CPIStack partitions every core cycle into dispatch vs ROB-full
+//     vs memory-backpressure stalls (cpu.Core counts them natively).
+//   - MemBlame partitions every demand read's queue+service wait into
+//     blame sources (row conflicts with a culprit core, mitigation
+//     blocks, REF, tracker-injected traffic, throttling, residual
+//     scheduling), folded from controller serve/block events by the
+//     BlameRecorder below.
+//
+// Both are conservation-checked (buckets sum exactly to cycles / to
+// the controller's TotalReadWait) and, like the Series fold, depend
+// only on event timestamps — so the event and cycle engines produce
+// byte-identical Attributions.
+
+// CPIStack is one core's whole-run cycle partition. Dispatch counts
+// cycles that issued at least one instruction; StallROB zero-dispatch
+// cycles while the core was not holding a refused memory request
+// (ROB-full / head-of-ROB wait); StallBP zero-dispatch cycles spent
+// retrying a memory access the hierarchy refused (backpressure).
+// Dispatch + StallROB + StallBP == Cycles exactly.
+type CPIStack struct {
+	Cycles   uint64 `json:"cycles"`
+	Dispatch uint64 `json:"dispatch"`
+	StallROB uint64 `json:"stall_rob"`
+	StallBP  uint64 `json:"stall_bp"`
+}
+
+// MemBlame partitions one core's aggregate demand-read wait (the exact
+// quantity mem.Stats.TotalReadWait accumulates: DoneAt minus enqueue,
+// summed over demand reads) into blame sources. The buckets sum to
+// Total exactly. Unlike CPIStack this is a request-side decomposition:
+// overlapping in-flight reads each contribute their full wait, so
+// Total routinely exceeds the core's stall cycles.
+type MemBlame struct {
+	// Intrinsic is the unavoidable service floor: row-hit latency plus
+	// burst, plus the activate cost on a precharged bank.
+	Intrinsic uint64 `json:"intrinsic"`
+	// Conflict is the extra precharge+activate latency paid because
+	// another request left a different row open (the culprit lands in
+	// the blame matrix when it was a core).
+	Conflict uint64 `json:"conflict"`
+	// QueueDemand is queue time spent behind other demand traffic
+	// occupying the bank (including write-backs).
+	QueueDemand uint64 `json:"queue_demand"`
+	// Inject is delay caused by tracker-injected counter traffic:
+	// queue time behind injected serves, plus conflict latency when an
+	// injected request left the conflicting row open.
+	Inject uint64 `json:"inject"`
+	// Mitigation is queue time spent behind VRR/RFMsb/DRFMsb bank
+	// blocks.
+	Mitigation uint64 `json:"mitigation"`
+	// REF is queue time spent behind auto-refresh blocks; Bulk behind
+	// whole-rank structure-reset sweeps.
+	REF  uint64 `json:"ref"`
+	Bulk uint64 `json:"bulk"`
+	// Throttle is queue time gated by the tracker's activation
+	// throttle (BlockHammer-style), counted inside otherwise-idle gaps.
+	Throttle uint64 `json:"throttle"`
+	// Sched is the residual: bank/rank timing spacing (tRC, tRRD,
+	// tFAW-like), data-bus occupancy and FR-FCFS ordering.
+	Sched uint64 `json:"sched"`
+	// Total is the independently accumulated grand total, equal to the
+	// controller-side TotalReadWait contribution of this core.
+	Total uint64 `json:"total"`
+}
+
+// bucket indices for the internal accumulators; must mirror MemBlame's
+// field order (bucketNames below is the single source for rendering).
+const (
+	bucketIntrinsic = iota
+	bucketConflict
+	bucketQueueDemand
+	bucketInject
+	bucketMitigation
+	bucketREF
+	bucketBulk
+	bucketThrottle
+	bucketSched
+	numBlameBuckets
+)
+
+// BlameBucketNames lists the MemBlame buckets in canonical order, for
+// renderers.
+var BlameBucketNames = [numBlameBuckets]string{
+	"intrinsic", "conflict", "queue_demand", "inject", "mitigation",
+	"ref", "bulk", "throttle", "sched",
+}
+
+type blameBuckets [numBlameBuckets]uint64
+
+func (b *blameBuckets) sum() uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+func (b *blameBuckets) toMemBlame() MemBlame {
+	return MemBlame{
+		Intrinsic:   b[bucketIntrinsic],
+		Conflict:    b[bucketConflict],
+		QueueDemand: b[bucketQueueDemand],
+		Inject:      b[bucketInject],
+		Mitigation:  b[bucketMitigation],
+		REF:         b[bucketREF],
+		Bulk:        b[bucketBulk],
+		Throttle:    b[bucketThrottle],
+		Sched:       b[bucketSched],
+		Total:       b.sum(),
+	}
+}
+
+// Buckets returns the MemBlame values in canonical bucket order
+// (matching BlameBucketNames), for renderers.
+func (m MemBlame) Buckets() [numBlameBuckets]uint64 {
+	return [numBlameBuckets]uint64{
+		m.Intrinsic, m.Conflict, m.QueueDemand, m.Inject, m.Mitigation,
+		m.REF, m.Bulk, m.Throttle, m.Sched,
+	}
+}
+
+// NumBlameBuckets is the bucket count, exported for renderers.
+const NumBlameBuckets = numBlameBuckets
+
+// CoreAttribution is one core's slowdown attribution.
+type CoreAttribution struct {
+	CPI CPIStack `json:"cpi"`
+	Mem MemBlame `json:"mem"`
+}
+
+// Attribution is one run's whole-run slowdown attribution: per-core
+// CPI stacks and memory-blame breakdowns, plus the N×N core→core
+// interference blame matrix. Matrix[v][c] is the number of wait cycles
+// victim core v lost to culprit core c — row conflicts c caused, queue
+// time behind c's serves, and mitigation blocks c's activations
+// triggered. The diagonal is self-interference (a core queuing behind
+// its own overlapping requests, or tripping mitigations on itself).
+type Attribution struct {
+	Cores  []CoreAttribution `json:"cores"`
+	Matrix [][]uint64        `json:"matrix"`
+}
+
+// Validate checks the Attribution's internal conservation: each CPI
+// stack partitions its cycles exactly, each MemBlame's buckets sum to
+// its Total, the matrix is square, and no matrix row claims more
+// cycles than the victim's culprit-attributable buckets.
+func (a *Attribution) Validate() error {
+	n := len(a.Cores)
+	if len(a.Matrix) != n {
+		return fmt.Errorf("attribution: matrix has %d rows, want %d", len(a.Matrix), n)
+	}
+	for i := range a.Cores {
+		c := &a.Cores[i]
+		if c.CPI.Dispatch+c.CPI.StallROB+c.CPI.StallBP != c.CPI.Cycles {
+			return fmt.Errorf("attribution: core %d CPI buckets %d+%d+%d != cycles %d",
+				i, c.CPI.Dispatch, c.CPI.StallROB, c.CPI.StallBP, c.CPI.Cycles)
+		}
+		b := c.Mem.Buckets()
+		var sum uint64
+		for _, v := range b {
+			sum += v
+		}
+		if sum != c.Mem.Total {
+			return fmt.Errorf("attribution: core %d blame buckets sum %d != total %d", i, sum, c.Mem.Total)
+		}
+		if len(a.Matrix[i]) != n {
+			return fmt.Errorf("attribution: matrix row %d has %d cols, want %d", i, len(a.Matrix[i]), n)
+		}
+		var row uint64
+		for _, v := range a.Matrix[i] {
+			row += v
+		}
+		if bound := c.Mem.Conflict + c.Mem.QueueDemand + c.Mem.Mitigation + c.Mem.Bulk; row > bound {
+			return fmt.Errorf("attribution: matrix row %d claims %d cycles, victim buckets bound %d", i, row, bound)
+		}
+	}
+	return nil
+}
+
+// CheckSeries cross-checks the windowed stacks riding a Series against
+// this Attribution's grand totals: every per-core blame series and
+// stall-split series must sum exactly to its total (per-window
+// conservation). Call after both are assembled; sim.Run does on every
+// attribution+telemetry run.
+func (a *Attribution) CheckSeries(s *Series) error {
+	if s == nil {
+		return nil
+	}
+	if s.Blame != nil {
+		if len(s.Blame) != len(a.Cores) {
+			return fmt.Errorf("attribution: series has %d blame cores, attribution %d", len(s.Blame), len(a.Cores))
+		}
+		for i := range s.Blame {
+			want := a.Cores[i].Mem.Buckets()
+			got := s.Blame[i].bucketSlices()
+			for b := 0; b < numBlameBuckets; b++ {
+				if sumU(got[b]) != want[b] {
+					return fmt.Errorf("attribution: core %d %s windows sum %d != total %d",
+						i, BlameBucketNames[b], sumU(got[b]), want[b])
+				}
+			}
+		}
+	}
+	for i := range s.Cores {
+		cs := &s.Cores[i]
+		if cs.StallROB == nil {
+			continue
+		}
+		if i >= len(a.Cores) {
+			return fmt.Errorf("attribution: series core %d has stall split but no attribution", i)
+		}
+		if sumU(cs.StallROB) != a.Cores[i].CPI.StallROB || sumU(cs.StallBP) != a.Cores[i].CPI.StallBP {
+			return fmt.Errorf("attribution: core %d stall-split windows (%d rob, %d bp) != totals (%d, %d)",
+				i, sumU(cs.StallROB), sumU(cs.StallBP), a.Cores[i].CPI.StallROB, a.Cores[i].CPI.StallBP)
+		}
+	}
+	return nil
+}
+
+// BlameSeries is one core's per-window memory-blame time-series: the
+// MemBlame buckets folded at the Series' window width. Window sums
+// equal the Attribution grand totals exactly.
+type BlameSeries struct {
+	Intrinsic   []uint64 `json:"intrinsic"`
+	Conflict    []uint64 `json:"conflict"`
+	QueueDemand []uint64 `json:"queue_demand"`
+	Inject      []uint64 `json:"inject"`
+	Mitigation  []uint64 `json:"mitigation"`
+	REF         []uint64 `json:"ref"`
+	Bulk        []uint64 `json:"bulk"`
+	Throttle    []uint64 `json:"throttle"`
+	Sched       []uint64 `json:"sched"`
+}
+
+func (b *BlameSeries) bucketSlices() [numBlameBuckets][]uint64 {
+	return [numBlameBuckets][]uint64{
+		b.Intrinsic, b.Conflict, b.QueueDemand, b.Inject, b.Mitigation,
+		b.REF, b.Bulk, b.Throttle, b.Sched,
+	}
+}
+
+// BlameCause tags one bank-ledger segment with why the bank was busy.
+type BlameCause uint8
+
+const (
+	// CauseServeDemand: the bank was serving another demand request
+	// (culprit = its core, or -1 for a write-back).
+	CauseServeDemand BlameCause = iota
+	// CauseServeInject: the bank was serving tracker counter traffic.
+	CauseServeInject
+	// CauseVRR / CauseRFMsb / CauseDRFMsb: mitigation block (culprit =
+	// the core whose activation triggered it, -1 for periodic ticks).
+	CauseVRR
+	CauseRFMsb
+	CauseDRFMsb
+	// CauseREF: per-rank auto-refresh block.
+	CauseREF
+	// CauseBulk: whole-rank structure-reset sweep.
+	CauseBulk
+)
+
+// bucketOf maps a segment cause to its MemBlame bucket.
+func (c BlameCause) bucket() int {
+	switch c {
+	case CauseServeDemand:
+		return bucketQueueDemand
+	case CauseServeInject:
+		return bucketInject
+	case CauseVRR, CauseRFMsb, CauseDRFMsb:
+		return bucketMitigation
+	case CauseREF:
+		return bucketREF
+	default:
+		return bucketBulk
+	}
+}
+
+// matrixEligible reports whether a culprit core can be charged in the
+// blame matrix for this cause (injected serves and REF are system
+// traffic: the Inject/REF buckets carry them).
+func (c BlameCause) matrixEligible() bool {
+	switch c {
+	case CauseServeDemand, CauseVRR, CauseRFMsb, CauseDRFMsb, CauseBulk:
+		return true
+	}
+	return false
+}
+
+// ServeEvent reports one request leaving a controller's queue for
+// service; the BlameRecorder both decomposes the waiter's delay (for
+// demand reads) and claims the service interval in the bank ledger so
+// later waiters can blame it.
+type ServeEvent struct {
+	// Bank is the flat bank index within the channel.
+	Bank int
+	// Core is the requesting core (-1 for write-backs).
+	Core     int
+	Injected bool
+	IsWrite  bool
+	// Enqueued/Start/DataEnd delimit the request's life: queue wait is
+	// [Enqueued, Start), service [Start, DataEnd).
+	Enqueued dram.Cycle
+	Start    dram.Cycle
+	DataEnd  dram.Cycle
+	// Extra is the service latency above the open-row hit floor (0 for
+	// a hit, tRCD for a closed bank, tRP+tRCD for a conflict).
+	Extra dram.Cycle
+	// Conflict marks a row-buffer conflict; Opener is who left the
+	// conflicting row open (core id, -1 none/write-back, -2 injected).
+	Conflict bool
+	Opener   int
+	// ThrottleFree is the first cycle the tracker's throttle would have
+	// admitted this request's activation (0 = not throttle-gated; the
+	// controller passes it only for requests that needed an ACT).
+	ThrottleFree dram.Cycle
+	// MinEnqueued is the earliest enqueue cycle still waiting in this
+	// channel (the serve excluded) — the ledger pruning watermark.
+	MinEnqueued dram.Cycle
+}
+
+// BlameProbe receives one memory channel's blame events. Like the
+// other probes it is passive, single-threaded and costs one nil check
+// per event when detached.
+type BlameProbe interface {
+	BlameServe(ev ServeEvent)
+	// BlameBlock claims [from, to) of a bank for a blocking cause
+	// (mitigation, REF, bulk sweep). culprit is the triggering core
+	// (-1 for none).
+	BlameBlock(bank int, from, to dram.Cycle, cause BlameCause, culprit int)
+}
+
+// blameSeg is one claimed interval of a bank's busy timeline.
+type blameSeg struct {
+	from, to dram.Cycle
+	culprit  int16
+	cause    BlameCause
+}
+
+// bankLedger is one bank's cause-tagged busy timeline: sorted,
+// non-overlapping segments. Claims are first-come-first-claimed —
+// overlapping claims keep only their uncovered cycles — which makes
+// every waiter's decomposition over it exactly conserved, and
+// deterministic because both engines emit the identical event order.
+type bankLedger struct {
+	segs []blameSeg
+}
+
+// prune drops segments that can no longer overlap any waiter: every
+// waiting or future request has an enqueue cycle >= floor, and a
+// segment matters only while its end exceeds the waiter's enqueue.
+func (l *bankLedger) prune(floor dram.Cycle) {
+	k := 0
+	for k < len(l.segs) && l.segs[k].to <= floor {
+		k++
+	}
+	if k > 0 {
+		n := copy(l.segs, l.segs[k:])
+		l.segs = l.segs[:n]
+	}
+}
+
+// claim records [from, to) for cause, keeping only cycles no earlier
+// claim covers. The common case (a serve or block starting at or after
+// the last segment's start) appends; future-dated mitigation blocks
+// can leave a later REF landing before them, which takes the general
+// insertion path.
+func (l *bankLedger) claim(from, to dram.Cycle, cause BlameCause, culprit int16) {
+	if from >= to {
+		return
+	}
+	n := len(l.segs)
+	if n == 0 || from >= l.segs[n-1].to {
+		l.segs = append(l.segs, blameSeg{from: from, to: to, culprit: culprit, cause: cause})
+		return
+	}
+	// General path: walk the overlapping suffix and claim the
+	// complement of existing coverage.
+	i := n
+	for i > 0 && l.segs[i-1].to > from {
+		i--
+	}
+	f := from
+	for f < to {
+		if i < len(l.segs) && l.segs[i].from < to {
+			s := l.segs[i]
+			if f < s.from {
+				l.insert(i, blameSeg{from: f, to: s.from, culprit: culprit, cause: cause})
+				i++
+			}
+			if s.to > f {
+				f = s.to
+			}
+			i++
+		} else {
+			l.insert(i, blameSeg{from: f, to: to, culprit: culprit, cause: cause})
+			return
+		}
+	}
+}
+
+func (l *bankLedger) insert(i int, s blameSeg) {
+	l.segs = append(l.segs, blameSeg{})
+	copy(l.segs[i+1:], l.segs[i:])
+	l.segs[i] = s
+}
+
+// BlameRecorderConfig sizes a BlameRecorder for one run.
+type BlameRecorderConfig struct {
+	Cores           int
+	Channels        int
+	BanksPerChannel int
+	// Window, when positive, additionally folds per-core blame into
+	// windowed series (riding Series.Blame); zero collects grand
+	// totals and the matrix only.
+	Window dram.Cycle
+	// End is the run length (warmup + measure); attribution covers the
+	// whole run, like the Series.
+	End dram.Cycle
+}
+
+// BlameRecorder folds controller serve/block events into per-core
+// MemBlame breakdowns, the core→core blame matrix, and (optionally)
+// windowed blame series. One recorder serves the whole system: attach
+// Probe(ch) to channel ch's controller. Single-threaded, wall-clock
+// free, and exact: every decomposition is interval arithmetic on event
+// timestamps, so both engines produce byte-identical results.
+type BlameRecorder struct {
+	cfg  BlameRecorderConfig
+	nWin int
+
+	banks  []bankLedger // cfg.Channels * cfg.BanksPerChannel
+	floors []dram.Cycle // per-channel pruning watermark
+
+	totals []blameBuckets
+	matrix [][]uint64
+	win    [][numBlameBuckets][]uint64 // per core, when Window > 0
+
+	finished bool
+}
+
+// NewBlameRecorder builds a BlameRecorder.
+func NewBlameRecorder(cfg BlameRecorderConfig) (*BlameRecorder, error) {
+	if cfg.Cores <= 0 || cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 {
+		return nil, fmt.Errorf("telemetry: blame recorder needs cores/channels/banks, got %d/%d/%d",
+			cfg.Cores, cfg.Channels, cfg.BanksPerChannel)
+	}
+	if cfg.End <= 0 {
+		return nil, fmt.Errorf("telemetry: blame recorder run length must be positive, got %d", cfg.End)
+	}
+	r := &BlameRecorder{cfg: cfg}
+	r.banks = make([]bankLedger, cfg.Channels*cfg.BanksPerChannel)
+	r.floors = make([]dram.Cycle, cfg.Channels)
+	r.totals = make([]blameBuckets, cfg.Cores)
+	r.matrix = make([][]uint64, cfg.Cores)
+	for i := range r.matrix {
+		r.matrix[i] = make([]uint64, cfg.Cores)
+	}
+	if cfg.Window > 0 {
+		nWin := (cfg.End + cfg.Window - 1) / cfg.Window
+		if nWin > MaxWindows {
+			return nil, fmt.Errorf("telemetry: blame window %d yields %d windows (max %d)", cfg.Window, nWin, MaxWindows)
+		}
+		r.nWin = int(nWin)
+		r.win = make([][numBlameBuckets][]uint64, cfg.Cores)
+		for c := range r.win {
+			for b := 0; b < numBlameBuckets; b++ {
+				r.win[c][b] = make([]uint64, r.nWin)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Probe returns the BlameProbe tap for channel ch's controller.
+func (r *BlameRecorder) Probe(ch int) BlameProbe { return &chanBlame{r: r, ch: ch} }
+
+type chanBlame struct {
+	r  *BlameRecorder
+	ch int
+}
+
+func (p *chanBlame) BlameServe(ev ServeEvent) { p.r.serve(p.ch, ev) }
+
+func (p *chanBlame) BlameBlock(bank int, from, to dram.Cycle, cause BlameCause, culprit int) {
+	r := p.r
+	led := &r.banks[p.ch*r.cfg.BanksPerChannel+bank]
+	led.prune(r.floors[p.ch])
+	led.claim(from, to, cause, int16(culprit))
+}
+
+// serve handles one ServeEvent: decompose the waiter's delay (demand
+// reads only — the core-visible wait TotalReadWait accounts), claim
+// the service interval, and advance the pruning watermark.
+func (r *BlameRecorder) serve(ch int, ev ServeEvent) {
+	led := &r.banks[ch*r.cfg.BanksPerChannel+ev.Bank]
+	if !ev.Injected && !ev.IsWrite && ev.Core >= 0 {
+		r.decompose(ev, led)
+	}
+	cause, culprit := CauseServeDemand, ev.Core
+	if ev.Injected {
+		cause, culprit = CauseServeInject, -2
+	}
+	led.prune(r.floors[ch])
+	led.claim(ev.Start, ev.DataEnd, cause, int16(culprit))
+	if ev.MinEnqueued > r.floors[ch] {
+		r.floors[ch] = ev.MinEnqueued
+	}
+}
+
+// decompose splits one demand read's [Enqueued, DataEnd) wait into
+// blame buckets: ledger overlaps for the queue part, throttle/sched
+// for the uncovered gaps, intrinsic+extra for the service part. The
+// pieces tile the wait exactly, which is what makes the grand-total
+// conservation against TotalReadWait an equality.
+func (r *BlameRecorder) decompose(ev ServeEvent, led *bankLedger) {
+	v := ev.Core
+	// Queue part [Enqueued, Start): ledger segments, gaps in between.
+	i := 0
+	for i < len(led.segs) && led.segs[i].to <= ev.Enqueued {
+		i++
+	}
+	cur := ev.Enqueued
+	for ; i < len(led.segs) && cur < ev.Start; i++ {
+		s := led.segs[i]
+		if s.from >= ev.Start {
+			break
+		}
+		if s.from > cur {
+			r.gap(v, ev, cur, s.from)
+			cur = s.from
+		}
+		end := s.to
+		if end > ev.Start {
+			end = ev.Start
+		}
+		if end > cur {
+			r.addAttr(v, s.cause.bucket(), cur, end)
+			if s.cause.matrixEligible() && s.culprit >= 0 {
+				r.matrix[v][s.culprit] += uint64(end - cur)
+			}
+			cur = end
+		}
+	}
+	if cur < ev.Start {
+		r.gap(v, ev, cur, ev.Start)
+	}
+	// Service part [Start, DataEnd): the extra (conflict/closed
+	// activate cost) first — the precharge+activate physically precede
+	// the column access — then the intrinsic floor.
+	if ev.Extra > 0 {
+		b := bucketIntrinsic // closed-bank activate: nobody's fault
+		if ev.Conflict {
+			b = bucketConflict
+			if ev.Opener == -2 {
+				b = bucketInject
+			} else if ev.Opener >= 0 {
+				r.matrix[v][ev.Opener] += uint64(ev.Extra)
+			}
+		}
+		r.addAttr(v, b, ev.Start, ev.Start+ev.Extra)
+	}
+	r.addAttr(v, bucketIntrinsic, ev.Start+ev.Extra, ev.DataEnd)
+}
+
+// gap attributes an uncovered queue gap: the throttle-gated prefix to
+// Throttle, the rest to Sched.
+func (r *BlameRecorder) gap(v int, ev ServeEvent, from, to dram.Cycle) {
+	if ev.ThrottleFree > from {
+		te := ev.ThrottleFree
+		if te > to {
+			te = to
+		}
+		r.addAttr(v, bucketThrottle, from, te)
+		from = te
+	}
+	if from < to {
+		r.addAttr(v, bucketSched, from, to)
+	}
+}
+
+// addAttr charges [from, to) to core v's bucket b, splitting across
+// windows when the windowed fold is on. Cycles past the run end lump
+// into the final window (in-flight at cutoff), matching windowOf.
+func (r *BlameRecorder) addAttr(v, b int, from, to dram.Cycle) {
+	if from >= to {
+		return
+	}
+	r.totals[v][b] += uint64(to - from)
+	if r.win == nil {
+		return
+	}
+	dst := r.win[v][b]
+	if to > r.cfg.End {
+		over := to - r.cfg.End
+		if from > r.cfg.End {
+			over = to - from // entirely past the end: all of it lumps
+		}
+		dst[r.nWin-1] += uint64(over)
+		to = r.cfg.End
+	}
+	for t := from; t < to; {
+		w := int(t / r.cfg.Window)
+		end := (dram.Cycle(w) + 1) * r.cfg.Window
+		if end > to {
+			end = to
+		}
+		dst[w] += uint64(end - t)
+		t = end
+	}
+}
+
+// Finish assembles the memory-blame side of the Attribution (per-core
+// MemBlame + matrix); the caller fills the CPI stacks from the cores'
+// counters. Call exactly once, after the last event.
+func (r *BlameRecorder) Finish() *Attribution {
+	if r.finished {
+		panic("telemetry: BlameRecorder.Finish called twice")
+	}
+	r.finished = true
+	a := &Attribution{
+		Cores:  make([]CoreAttribution, r.cfg.Cores),
+		Matrix: r.matrix,
+	}
+	for i := range a.Cores {
+		a.Cores[i].Mem = r.totals[i].toMemBlame()
+	}
+	return a
+}
+
+// WindowSeries returns the per-core windowed blame series (nil when
+// the recorder was built without a window). Attach to Series.Blame.
+func (r *BlameRecorder) WindowSeries() []BlameSeries {
+	if r.win == nil {
+		return nil
+	}
+	out := make([]BlameSeries, r.cfg.Cores)
+	for c := range out {
+		w := &r.win[c]
+		out[c] = BlameSeries{
+			Intrinsic:   w[bucketIntrinsic],
+			Conflict:    w[bucketConflict],
+			QueueDemand: w[bucketQueueDemand],
+			Inject:      w[bucketInject],
+			Mitigation:  w[bucketMitigation],
+			REF:         w[bucketREF],
+			Bulk:        w[bucketBulk],
+			Throttle:    w[bucketThrottle],
+			Sched:       w[bucketSched],
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// blameCoreRow is the JSONL rendering of one core's whole-run
+// attribution: the exact CPI stack next to the memory-blame breakdown,
+// self-contained per line.
+type blameCoreRow struct {
+	Type string   `json:"type"` // "core"
+	Core int      `json:"core"`
+	CPI  CPIStack `json:"cpi"`
+	Mem  MemBlame `json:"mem"`
+}
+
+// blameMatrixRow is one victim row of the core→core blame matrix.
+type blameMatrixRow struct {
+	Type     string   `json:"type"` // "matrix"
+	Victim   int      `json:"victim"`
+	Culprits []uint64 `json:"culprits"`
+}
+
+// blameWindowRow is one telemetry window of the blame series: per core,
+// the stall split plus every blame bucket, one self-contained line per
+// window.
+type blameWindowRow struct {
+	Type   string           `json:"type"` // "window"
+	Window int              `json:"window"`
+	Start  int64            `json:"start"`
+	End    int64            `json:"end"`
+	Cores  []map[string]any `json:"cores"`
+}
+
+// WriteBlameJSONL streams an Attribution as typed JSON lines: one
+// "core" line per core, one "matrix" line per victim row, then — when
+// the run also carried a windowed Series with blame — one "window"
+// line per telemetry window. Every line is self-contained so `jq` and
+// plotting scripts can stream it; the order is fixed, so two identical
+// runs serialize to identical bytes.
+func WriteBlameJSONL(w io.Writer, a *Attribution, s *Series) error {
+	enc := json.NewEncoder(w)
+	for i := range a.Cores {
+		if err := enc.Encode(blameCoreRow{Type: "core", Core: i, CPI: a.Cores[i].CPI, Mem: a.Cores[i].Mem}); err != nil {
+			return err
+		}
+	}
+	for v := range a.Matrix {
+		if err := enc.Encode(blameMatrixRow{Type: "matrix", Victim: v, Culprits: a.Matrix[v]}); err != nil {
+			return err
+		}
+	}
+	if s == nil || s.Blame == nil {
+		return nil
+	}
+	for wi := 0; wi < s.NumWindows(); wi++ {
+		row := blameWindowRow{
+			Type: "window", Window: wi,
+			Start: int64(s.WindowStart(wi)),
+			End:   int64(s.WindowStart(wi) + s.WindowLen(wi)),
+		}
+		for c := range s.Blame {
+			cell := map[string]any{
+				"stall_rob": s.Cores[c].StallROB[wi],
+				"stall_bp":  s.Cores[c].StallBP[wi],
+			}
+			slices := s.Blame[c].bucketSlices()
+			for b, name := range BlameBucketNames {
+				cell[name] = slices[b][wi]
+			}
+			row.Cores = append(row.Cores, cell)
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlameCSV writes the per-core whole-run stacks as a flat
+// header+rows table: one row per core with the CPI split followed by
+// every blame bucket and the wait total.
+func WriteBlameCSV(w io.Writer, a *Attribution) error {
+	cw := csv.NewWriter(w)
+	hdr := []string{"core", "cycles", "dispatch", "stall_rob", "stall_bp"}
+	for _, name := range BlameBucketNames {
+		hdr = append(hdr, "mem_"+name)
+	}
+	hdr = append(hdr, "mem_total")
+	if err := cw.Write(hdr); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for i := range a.Cores {
+		c := &a.Cores[i]
+		rec := []string{strconv.Itoa(i), u(c.CPI.Cycles), u(c.CPI.Dispatch), u(c.CPI.StallROB), u(c.CPI.StallBP)}
+		for _, v := range c.Mem.Buckets() {
+			rec = append(rec, u(v))
+		}
+		rec = append(rec, u(c.Mem.Total))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBlameMatrixCSV writes the core→core blame matrix as a flat
+// table: one row per victim, one column per culprit, cells in wait
+// cycles.
+func WriteBlameMatrixCSV(w io.Writer, a *Attribution) error {
+	cw := csv.NewWriter(w)
+	hdr := []string{"victim"}
+	for c := range a.Matrix {
+		hdr = append(hdr, fmt.Sprintf("core%d", c))
+	}
+	if err := cw.Write(hdr); err != nil {
+		return err
+	}
+	for v, row := range a.Matrix {
+		rec := []string{strconv.Itoa(v)}
+		for _, cell := range row {
+			rec = append(rec, strconv.FormatUint(cell, 10))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// blameBar renders a fixed-width proportional bar; deterministic for
+// identical inputs (pure arithmetic, no wall-clock, no maps).
+func blameBar(part, whole uint64, width int) string {
+	if whole == 0 {
+		return strings.Repeat(" ", width)
+	}
+	n := int((float64(part)/float64(whole))*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// RenderBlameASCII writes the human-oriented view: one CPI stack per
+// core (dispatch / ROB-full-on-memory / backpressure shares of every
+// simulated cycle, as labelled bars), the core's memory-wait blame
+// breakdown, and the core→core blame matrix. labels optionally names
+// each core (nil = bare indices). The output is deterministic.
+func RenderBlameASCII(w io.Writer, a *Attribution, labels []string) error {
+	const width = 40
+	name := func(i int) string {
+		if i < len(labels) && labels[i] != "" {
+			return fmt.Sprintf("core %d (%s)", i, labels[i])
+		}
+		return fmt.Sprintf("core %d", i)
+	}
+	for i := range a.Cores {
+		c := &a.Cores[i]
+		if _, err := fmt.Fprintf(w, "%s — %d cycles\n", name(i), c.CPI.Cycles); err != nil {
+			return err
+		}
+		for _, part := range []struct {
+			label string
+			v     uint64
+		}{
+			{"dispatch ", c.CPI.Dispatch},
+			{"stall.rob", c.CPI.StallROB},
+			{"stall.bp ", c.CPI.StallBP},
+		} {
+			if _, err := fmt.Fprintf(w, "  %s %5.1f%% |%s| %d\n",
+				part.label, pct(part.v, c.CPI.Cycles), blameBar(part.v, c.CPI.Cycles, width), part.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  mem wait blame (%d request-cycles):\n", c.Mem.Total); err != nil {
+			return err
+		}
+		buckets := c.Mem.Buckets()
+		for b, name := range BlameBucketNames {
+			if _, err := fmt.Fprintf(w, "    %-12s %5.1f%% |%s| %d\n",
+				name, pct(buckets[b], c.Mem.Total), blameBar(buckets[b], c.Mem.Total, width), buckets[b]); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "blame matrix (victim row × culprit column, wait cycles):\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s", ""); err != nil {
+		return err
+	}
+	for c := range a.Matrix {
+		if _, err := fmt.Fprintf(w, " %12s", fmt.Sprintf("core%d", c)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for v, row := range a.Matrix {
+		if _, err := fmt.Fprintf(w, "%12s", fmt.Sprintf("core%d", v)); err != nil {
+			return err
+		}
+		for _, cell := range row {
+			if _, err := fmt.Fprintf(w, " %12d", cell); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -24,6 +24,9 @@ type RecorderConfig struct {
 	// Warmup is recorded into the Series so consumers can slice off the
 	// transient; it does not affect the fold.
 	Warmup dram.Cycle
+	// SplitStalls additionally folds the ROB-full vs backpressure stall
+	// split (CoreSeries.StallROB/StallBP); on for attribution runs.
+	SplitStalls bool
 }
 
 // Recorder folds the in-sim event stream into a windowed Series. It is
@@ -45,8 +48,10 @@ type Recorder struct {
 }
 
 type coreAcc struct {
-	retired []uint64
-	stalls  []uint64
+	retired  []uint64
+	stalls   []uint64
+	stallROB []uint64 // only when cfg.SplitStalls
+	stallBP  []uint64
 }
 
 type chanAcc struct {
@@ -98,6 +103,10 @@ func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
 		r.cores[i] = coreAcc{
 			retired: make([]uint64, nWin),
 			stalls:  make([]uint64, nWin),
+		}
+		if cfg.SplitStalls {
+			r.cores[i].stallROB = make([]uint64, nWin)
+			r.cores[i].stallBP = make([]uint64, nWin)
 		}
 	}
 	r.channels = make([]chanAcc, cfg.Channels)
@@ -271,7 +280,7 @@ func (r *Recorder) CoreProbe(core int) CoreProbe { return &coreProbe{r: r, core:
 // per dispatch burst, so it stays allocation-free (//dapper:hot).
 //
 //dapper:hot
-func (p *coreProbe) CoreSegment(from, to dram.Cycle, retired uint64, dispCycles dram.Cycle) {
+func (p *coreProbe) CoreSegment(from, to dram.Cycle, retired uint64, dispCycles dram.Cycle, bp bool) {
 	if from >= to {
 		return
 	}
@@ -295,6 +304,13 @@ func (p *coreProbe) CoreSegment(from, to dram.Cycle, retired uint64, dispCycles 
 		}
 		if end > sFrom {
 			c.stalls[w] += uint64(end - sFrom)
+			if c.stallROB != nil {
+				if bp {
+					c.stallBP[w] += uint64(end - sFrom)
+				} else {
+					c.stallROB[w] += uint64(end - sFrom)
+				}
+			}
 		}
 		t = end
 	}
@@ -327,7 +343,10 @@ func (r *Recorder) Finish() *Series {
 		for w := range ipc {
 			ipc[w] = float64(c.retired[w]) / float64(s.WindowLen(w))
 		}
-		s.Cores[i] = CoreSeries{Retired: c.retired, Stalls: c.stalls, IPC: ipc}
+		s.Cores[i] = CoreSeries{
+			Retired: c.retired, Stalls: c.stalls, IPC: ipc,
+			StallROB: c.stallROB, StallBP: c.stallBP,
+		}
 	}
 	s.Channels = make([]ChannelSeries, len(r.channels))
 	for i := range r.channels {

@@ -23,7 +23,7 @@ func renderFixture(t *testing.T) *Series {
 	obs.ObserveACT(3, dram.Loc{}, false)
 	obs.ObserveMitigation(12, rh.RefreshVictims, dram.Loc{}, 1)
 	rec.ControllerProbe(0).TableSample(5, 2, 8, 0)
-	rec.CoreProbe(0).CoreSegment(0, 25, 25, 20)
+	rec.CoreProbe(0).CoreSegment(0, 25, 25, 20, false)
 	return rec.Finish()
 }
 
@@ -99,7 +99,7 @@ func TestRenderOmitsTableColumnsWithoutReporter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec.CoreProbe(0).CoreSegment(0, 20, 20, 20)
+	rec.CoreProbe(0).CoreSegment(0, 20, 20, 20, false)
 	s := rec.Finish()
 	var buf bytes.Buffer
 	if err := WriteSeriesCSV(&buf, s); err != nil {

@@ -57,11 +57,16 @@ type CoreProbe interface {
 	// retired instructions are distributed uniformly across the range
 	// (retired must be divisible by to-from), and the first dispCycles
 	// cycles dispatched at least one instruction while the remaining
-	// to-from-dispCycles cycles stalled. The per-cycle driver emits
-	// single-cycle segments; the event engine's O(1) catch-up folds emit
-	// multi-cycle segments with identical per-cycle semantics, which is
-	// what makes the windowed fold byte-identical across engines.
-	CoreSegment(from, to dram.Cycle, retired uint64, dispCycles dram.Cycle)
+	// to-from-dispCycles cycles stalled. bp classifies the stalled
+	// cycles: true when the core was retrying a memory access the
+	// hierarchy refused (backpressure), false for ROB-full /
+	// head-of-ROB waits — a segment never mixes the two (the core's
+	// fold boundaries split exactly on that state change). The
+	// per-cycle driver emits single-cycle segments; the event engine's
+	// O(1) catch-up folds emit multi-cycle segments with identical
+	// per-cycle semantics, which is what makes the windowed fold
+	// byte-identical across engines.
+	CoreSegment(from, to dram.Cycle, retired uint64, dispCycles dram.Cycle, bp bool)
 }
 
 // Totals are grand-total event counts accumulated independently of the
@@ -92,6 +97,12 @@ type CoreSeries struct {
 	Stalls []uint64 `json:"stalls"`
 	// IPC is Retired over the window length, precomputed for plotting.
 	IPC []float64 `json:"ipc"`
+	// StallROB / StallBP split Stalls into ROB-full (or head-of-ROB)
+	// waits vs memory-backpressure retries. Present only when the run
+	// collected attribution (RecorderConfig.SplitStalls); per window,
+	// StallROB + StallBP == Stalls exactly.
+	StallROB []uint64 `json:"stall_rob,omitempty"`
+	StallBP  []uint64 `json:"stall_bp,omitempty"`
 }
 
 // ChannelSeries is one memory channel's per-window time-series.
@@ -142,6 +153,11 @@ type Series struct {
 	Cores    []CoreSeries    `json:"cores"`
 	Channels []ChannelSeries `json:"channels"`
 	Totals   Totals          `json:"totals"`
+
+	// Blame is the per-core windowed memory-blame series, present only
+	// on runs collecting attribution alongside telemetry. Window sums
+	// equal the Attribution grand totals (Attribution.CheckSeries).
+	Blame []BlameSeries `json:"blame,omitempty"`
 }
 
 // NumWindows returns the number of windows covering [0, Cycles).
@@ -213,6 +229,20 @@ func (s *Series) Validate() error {
 					i, w, c.Stalls[w], s.WindowLen(w))
 			}
 		}
+		if (c.StallROB == nil) != (c.StallBP == nil) {
+			return fmt.Errorf("telemetry: core %d has only one of the stall-split series", i)
+		}
+		if c.StallROB != nil {
+			if len(c.StallROB) != n || len(c.StallBP) != n {
+				return fmt.Errorf("telemetry: core %d stall-split series length mismatch (want %d windows)", i, n)
+			}
+			for w := 0; w < n; w++ {
+				if c.StallROB[w]+c.StallBP[w] != c.Stalls[w] {
+					return fmt.Errorf("telemetry: core %d window %d stall split %d+%d != stalls %d",
+						i, w, c.StallROB[w], c.StallBP[w], c.Stalls[w])
+				}
+			}
+		}
 		retired += sumU(c.Retired)
 		stalls += sumU(c.Stalls)
 	}
@@ -268,6 +298,20 @@ func (s *Series) Validate() error {
 	sums.Retired, sums.Stalls = s.Totals.Retired, s.Totals.Stalls
 	if sums != s.Totals {
 		return fmt.Errorf("telemetry: channel windows sums %+v != totals %+v", sums, s.Totals)
+	}
+
+	if s.Blame != nil {
+		if len(s.Blame) != len(s.Cores) {
+			return fmt.Errorf("telemetry: %d blame series for %d cores", len(s.Blame), len(s.Cores))
+		}
+		for i := range s.Blame {
+			for b, sl := range s.Blame[i].bucketSlices() {
+				if len(sl) != n {
+					return fmt.Errorf("telemetry: core %d blame %s has %d windows, want %d",
+						i, BlameBucketNames[b], len(sl), n)
+				}
+			}
+		}
 	}
 	return nil
 }

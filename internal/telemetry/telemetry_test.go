@@ -55,7 +55,7 @@ func TestCoreSegmentStraddlesWindows(t *testing.T) {
 	r := mustRecorder(t, RecorderConfig{Cores: 1, Channels: 1, Window: 10, End: 30})
 	// Segment [5, 25): 20 cycles, 40 retired (2/cycle), first 12 cycles
 	// dispatch, last 8 stall. Straddles windows 0, 1, 2.
-	r.CoreProbe(0).CoreSegment(5, 25, 40, 12)
+	r.CoreProbe(0).CoreSegment(5, 25, 40, 12, false)
 	s := r.Finish()
 	c := s.Cores[0]
 	// Window 0 holds cycles [5,10): 5 cycles * 2 = 10 retired, 0 stalls.
@@ -86,7 +86,7 @@ func TestSingleCycleSegmentsMatchFold(t *testing.T) {
 	// property in miniature.
 	cfg := RecorderConfig{Cores: 1, Channels: 1, Window: 7, End: 40}
 	folded := mustRecorder(t, cfg)
-	folded.CoreProbe(0).CoreSegment(3, 33, 90, 18)
+	folded.CoreProbe(0).CoreSegment(3, 33, 90, 18, false)
 
 	single := mustRecorder(t, cfg)
 	p := single.CoreProbe(0)
@@ -95,7 +95,7 @@ func TestSingleCycleSegmentsMatchFold(t *testing.T) {
 		if t < 3+18 {
 			disp = 1
 		}
-		p.CoreSegment(t, t+1, 3, disp)
+		p.CoreSegment(t, t+1, 3, disp, false)
 	}
 
 	a, _ := json.Marshal(folded.Finish())
@@ -248,7 +248,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	build := func() *Series {
 		r := mustRecorder(t, RecorderConfig{Cores: 1, Channels: 1, Window: 10, End: 30})
 		r.Observer(0).ObserveACT(5, dram.Loc{}, false)
-		r.CoreProbe(0).CoreSegment(0, 10, 20, 10)
+		r.CoreProbe(0).CoreSegment(0, 10, 20, 10, false)
 		return r.Finish()
 	}
 	if err := build().Validate(); err != nil {
