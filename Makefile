@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke telemetry-smoke blame-smoke bench-mix bench-smoke bench-compare bench-check adversary-smoke bench-adversary ci
+.PHONY: all build vet lint test test-race test-engine-equivalence fuzz-smoke audit-smoke mix-smoke telemetry-smoke blame-smoke batch-smoke bench-mix bench-smoke bench-compare bench-check adversary-smoke bench-adversary ci
 
 all: build vet lint test
 
@@ -92,6 +92,23 @@ telemetry-smoke:
 blame-smoke:
 	$(GO) run ./cmd/dapper-blame -tracker all -attack hammer -nrh 125 -rows-per-bank 1024 -warmup 5 -measure 60 -window 10 -seed 1 -check -out blame-smoke
 
+# Batched sweep smoke: the same tiny sweep through both runners — the
+# lockstep batch runner (-batch: decode once, replay non-perturbing
+# tracker configs against the lead's recorded stream) and the
+# independent pool — writing to separate directories. The byte-level
+# equivalence of the two paths is proven by test-engine-equivalence
+# (TestEngineEquivalenceBatched* in sim and exp); this target keeps the
+# cmd wiring honest end to end. The sweep includes a throttler
+# (blockhammer) so the fallback path executes too.
+batch-smoke:
+	$(GO) run ./cmd/dapper-batch -profile tiny -trackers none,dapper-h,hydra,blockhammer -workloads 429.mcf -nrh 500,1000 -window-us 10 -attr -batch -out batch-smoke/batched
+	$(GO) run ./cmd/dapper-batch -profile tiny -trackers none,dapper-h,hydra,blockhammer -workloads 429.mcf -nrh 500,1000 -window-us 10 -attr -out batch-smoke/pool
+	@sed 's/"elapsed_ns":[0-9]*//' batch-smoke/batched/batch.jsonl > batch-smoke/batched-stripped.jsonl
+	@sed 's/"elapsed_ns":[0-9]*//' batch-smoke/pool/batch.jsonl > batch-smoke/pool-stripped.jsonl
+	@cmp batch-smoke/batched-stripped.jsonl batch-smoke/pool-stripped.jsonl \
+		&& echo "batch-smoke: batched and pool JSONL identical (elapsed aside)" \
+		|| { echo "batch-smoke FAILED: batched and pool outputs differ"; exit 1; }
+
 # Benchmark mix-sweep throughput (cells per second) and record it in
 # BENCH_mix.json (BenchmarkMix in bench_test.go is the in-process
 # equivalent, covered by bench-smoke).
@@ -103,15 +120,18 @@ bench-mix:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 
-# Benchmark the cycle vs event engine on one figure and record the
-# result, so the perf trajectory is tracked in BENCH_engine.json.
+# Benchmark the cycle vs event engine on one figure plus the batched
+# sweep runner on an 8-point NRH sweep, and append the timestamped
+# report to the BENCH_engine.json trajectory (a JSON array; the perf
+# history travels with the repo).
 bench-compare:
 	$(GO) run ./cmd/dapper-engine-bench -exp fig11 -out BENCH_engine.json
 
-# Gate the engine-speedup trajectory instead of recording it: re-run
-# the telemetry-off benchmark and fail if the event-over-cycle speedup
-# ratio regressed >10% versus the committed BENCH_engine.json (the
-# ratio, not wall-clock, so it holds across machine speeds).
+# Gate the perf trajectory instead of extending it: re-run the
+# telemetry-off benchmarks and fail if the event-over-cycle speedup
+# ratio or the batched-runner speedup regressed >10% versus the last
+# recorded BENCH_engine.json point (ratios, not wall-clock, so the
+# gates hold across machine speeds).
 bench-check:
 	$(GO) run ./cmd/dapper-engine-bench -exp fig11 -out BENCH_engine.json -check
 
@@ -126,4 +146,4 @@ adversary-smoke:
 bench-adversary:
 	$(GO) run ./cmd/dapper-adversary -tracker dapper-h -profile tiny -budget 16 -seed 1 -out adversary-bench -bench BENCH_adversary.json
 
-ci: build vet lint test test-race test-engine-equivalence audit-smoke mix-smoke telemetry-smoke blame-smoke fuzz-smoke bench-smoke bench-check adversary-smoke bench-adversary bench-mix
+ci: build vet lint test test-race test-engine-equivalence audit-smoke mix-smoke telemetry-smoke blame-smoke batch-smoke fuzz-smoke bench-smoke bench-check adversary-smoke bench-adversary bench-mix

@@ -119,9 +119,7 @@ func main() {
 	if *trackers == "all" {
 		trackerIDs = exp.KnownTrackers()
 	}
-	if *jobs <= 0 {
-		*jobs = runtime.NumCPU()
-	}
+	*jobs = harness.NormalizeJobs(*jobs)
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

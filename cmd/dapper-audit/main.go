@@ -124,9 +124,7 @@ func main() {
 		}
 		nrhSet = append(nrhSet, uint32(v))
 	}
-	if *jobs <= 0 {
-		*jobs = runtime.NumCPU()
-	}
+	*jobs = harness.NormalizeJobs(*jobs)
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -65,9 +65,7 @@ func main() {
 		p.Seed = *seed
 	}
 
-	if *jobs <= 0 {
-		*jobs = runtime.NumCPU()
-	}
+	*jobs = harness.NormalizeJobs(*jobs)
 	cache, err := harness.NewCache(*cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

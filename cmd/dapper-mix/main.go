@@ -122,9 +122,7 @@ func main() {
 	if *nMixes <= 0 || *cores <= 0 {
 		fatal(fmt.Errorf("-mixes and -cores must be positive (got %d, %d)", *nMixes, *cores))
 	}
-	if *jobs <= 0 {
-		*jobs = runtime.NumCPU()
-	}
+	*jobs = harness.NormalizeJobs(*jobs)
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

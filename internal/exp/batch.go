@@ -89,9 +89,11 @@ type BatchRequest struct {
 	Profile   Profile
 }
 
-// Jobs expands the request into harness jobs in deterministic sweep
-// order (tracker-major, then NRH, then workload).
-func (req BatchRequest) Jobs() ([]harness.Job, error) {
+// specs expands the request into run specs in deterministic sweep
+// order (tracker-major, then NRH, then workload). Jobs and
+// BatchedSweep both build on this expansion, so the two execution
+// paths share descriptors — and therefore cache keys — exactly.
+func (req BatchRequest) specs() ([]runSpec, error) {
 	if len(req.Trackers) == 0 || len(req.Workloads) == 0 || len(req.NRHs) == 0 {
 		return nil, fmt.Errorf("exp: batch needs at least one tracker, workload and NRH")
 	}
@@ -101,7 +103,7 @@ func (req BatchRequest) Jobs() ([]harness.Job, error) {
 	if req.Attack == attack.StreamingSweep {
 		warmup, measure = p.DapperWarmup, p.DapperMeasure
 	}
-	var jobs []harness.Job
+	var specs []runSpec
 	for _, id := range req.Trackers {
 		build, ok := trackerBuilders[id]
 		if !ok {
@@ -110,7 +112,7 @@ func (req BatchRequest) Jobs() ([]harness.Job, error) {
 		for _, nrh := range req.NRHs {
 			ts := build(geo, nrh, req.Mode)
 			for _, w := range req.Workloads {
-				s := runSpec{
+				specs = append(specs, runSpec{
 					workload:        w,
 					geo:             geo,
 					nrh:             nrh,
@@ -123,13 +125,27 @@ func (req BatchRequest) Jobs() ([]harness.Job, error) {
 					engine:          p.Engine,
 					telemetryWindow: p.TelemetryWindow,
 					attribution:     p.Attribution,
-				}
-				jobs = append(jobs, harness.Job{
-					Desc: s.descriptor(),
-					Run:  func() (sim.Result, error) { return run(s) },
 				})
 			}
 		}
+	}
+	return specs, nil
+}
+
+// Jobs expands the request into harness jobs in deterministic sweep
+// order (tracker-major, then NRH, then workload).
+func (req BatchRequest) Jobs() ([]harness.Job, error) {
+	specs, err := req.specs()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]harness.Job, 0, len(specs))
+	for _, s := range specs {
+		s := s
+		jobs = append(jobs, harness.Job{
+			Desc: s.descriptor(),
+			Run:  func() (sim.Result, error) { return run(s) },
+		})
 	}
 	return jobs, nil
 }

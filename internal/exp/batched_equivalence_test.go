@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/harness"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+)
+
+// batchedTestRequest builds a small sweep exercising both grouping
+// regimes: benign (one stream per workload, the NRH axis shares it)
+// and attacked (one stream per workload x NRH). Telemetry and
+// attribution are on so the comparison covers the full Result surface.
+func batchedTestRequest(kind attack.Kind) BatchRequest {
+	p := Tiny()
+	p.TelemetryWindow = dram.US(10)
+	p.Attribution = true
+	return BatchRequest{
+		Trackers:  []string{"none", "hydra", "dapper-h", "blockhammer"},
+		Workloads: p.Workloads,
+		NRHs:      []uint32{500, 1000},
+		Attack:    kind,
+		Mode:      rh.VRR1,
+		Profile:   p,
+	}
+}
+
+// TestEngineEquivalenceBatchedSweep is the exp-level half of the
+// batched safety net: for every sweep point, the record produced by
+// BatchedSweep (lockstep replay or fallback) must carry a Result
+// byte-identical to the one the serial Jobs path produces, and the
+// descriptor sequence must alias the Jobs descriptors exactly (same
+// identities, same order), so both runners share cache keys.
+func TestEngineEquivalenceBatchedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long; skipped in -short")
+	}
+	for _, kind := range []attack.Kind{attack.None, attack.Refresh} {
+		t.Run(kind.String(), func(t *testing.T) {
+			req := batchedTestRequest(kind)
+
+			jobs, err := req.Jobs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchSink := harness.NewMemorySink()
+			records, stats, err := BatchedSweep(req, harness.Options{Workers: 2, Sinks: []harness.Sink{batchSink}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(records) != len(jobs) {
+				t.Fatalf("batched sweep produced %d records for %d jobs", len(records), len(jobs))
+			}
+			if got := batchSink.Records(); len(got) != len(records) {
+				t.Fatalf("sink saw %d records, want %d", len(got), len(records))
+			}
+
+			for i, job := range jobs {
+				// Descriptor aliasing backstop: the batched runner must
+				// address the cache with exactly the identities the pool
+				// path would use, in the same order.
+				if records[i].Desc != job.Desc {
+					t.Fatalf("record %d descriptor diverges:\n batched: %+v\n jobs:    %+v",
+						i, records[i].Desc, job.Desc)
+				}
+				if records[i].Key != job.Desc.Key() {
+					t.Fatalf("record %d key %q != descriptor key %q", i, records[i].Key, job.Desc.Key())
+				}
+				want, err := job.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantJS, err := json.Marshal(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotJS, err := json.Marshal(records[i].Result)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(wantJS, gotJS) {
+					t.Fatalf("%s: batched result diverges from serial run:\n want %s\n got  %s",
+						job.Desc.String(), wantJS, gotJS)
+				}
+			}
+
+			if stats.Points != len(jobs) || stats.Lockstep+stats.FullRuns != len(jobs) {
+				t.Fatalf("stats don't cover the sweep: %+v", stats)
+			}
+			// Benign sweeps share one stream per workload; with an attack
+			// the NRH axis splits the streams.
+			wantGroups := len(req.Workloads)
+			if kind != attack.None {
+				wantGroups = len(req.Workloads) * len(req.NRHs)
+			}
+			if stats.Groups != wantGroups {
+				t.Fatalf("got %d groups, want %d (stats %+v)", stats.Groups, wantGroups, stats)
+			}
+			// blockhammer throttles, so every sweep has fallback points;
+			// the insecure lead also counts as a full run.
+			if stats.FullRuns == 0 || stats.Reasons[string(sim.FallbackThrottler)] == 0 {
+				t.Fatalf("expected throttler fallbacks in stats %+v", stats)
+			}
+			if kind == attack.None && stats.Lockstep == 0 {
+				t.Fatalf("benign sweep replayed nothing in lockstep: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceBatchedSweepCache pins the cache contract: a
+// second BatchedSweep over a warm cache simulates nothing and returns
+// byte-identical results, and a Jobs/pool run over the same cache is
+// all hits too (shared keys, not merely equal results).
+func TestEngineEquivalenceBatchedSweepCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long; skipped in -short")
+	}
+	req := batchedTestRequest(attack.None)
+	cache, err := harness.NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldStats, err := BatchedSweep(req, harness.Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.CacheHits != 0 {
+		t.Fatalf("cold sweep hit the cache: %+v", coldStats)
+	}
+	warm, warmStats, err := BatchedSweep(req, harness.Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.CacheHits != len(warm) || warmStats.Groups != 0 {
+		t.Fatalf("warm sweep resimulated: %+v", warmStats)
+	}
+	for i := range cold {
+		wantJS, _ := json.Marshal(cold[i].Result)
+		gotJS, _ := json.Marshal(warm[i].Result)
+		if !bytes.Equal(wantJS, gotJS) {
+			t.Fatalf("%s: warm result diverges from cold", cold[i].Desc.String())
+		}
+		if !warm[i].Cached {
+			t.Fatalf("%s: warm record not marked cached", warm[i].Desc.String())
+		}
+	}
+
+	// The pool path must hit the batched runner's entries.
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := harness.NewPool(harness.Options{Workers: 2, Cache: cache})
+	for _, j := range jobs {
+		pool.Submit(j)
+	}
+	pool.Wait()
+	if ps := pool.Stats(); ps.Ran != 0 || ps.CacheHits != len(jobs) {
+		t.Fatalf("pool resimulated over the batched cache: %+v", ps)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

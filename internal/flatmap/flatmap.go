@@ -1,0 +1,139 @@
+// Package flatmap provides an open-addressed hash table specialized for
+// the trackers' hot per-row state: uint64 keys, flat backing arrays, and
+// an O(1) generation-stamped Reset that keeps the storage allocated.
+// The four map-heavy trackers (Hydra's RCT, START's counts, ABACUS's
+// bank bit-vectors, BlockHammer's pacing stamps) clear their entire
+// per-row state every tREFW; with built-in maps each reset reallocates
+// buckets and re-churns the allocator once per window per run — N times
+// over in a batched sweep. Table instead stamps every slot with the
+// generation that wrote it and invalidates all of them by bumping one
+// counter.
+//
+// The table deliberately has no iteration API: none of the swapped call
+// sites ever range over their state, and leaving enumeration out keeps
+// the package trivially safe under the repo's determinism contract (no
+// map-order dependence can be reintroduced through it).
+package flatmap
+
+// minCap is the smallest table allocated; power of two, comfortably
+// above the load factor for small working sets.
+const minCap = 64
+
+// maxLoadNum/maxLoadDen express the 3/4 load factor bound: the table
+// grows when live entries exceed capacity*3/4.
+const (
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// Table is an open-addressed uint64-keyed hash table with generation
+// Reset. The zero value is not ready; use New. Not safe for concurrent
+// use (trackers are single-threaded by contract).
+type Table[V any] struct {
+	keys []uint64
+	vals []V
+	gen  []uint32
+	cur  uint32
+	live int
+	mask uint64
+}
+
+// New returns a table pre-sized for about capacityHint live entries
+// (it never rehashes until the hint is exceeded).
+func New[V any](capacityHint int) *Table[V] {
+	c := minCap
+	for c*maxLoadNum/maxLoadDen < capacityHint {
+		c <<= 1
+	}
+	return &Table[V]{
+		keys: make([]uint64, c),
+		vals: make([]V, c),
+		gen:  make([]uint32, c),
+		cur:  1,
+		mask: uint64(c - 1),
+	}
+}
+
+// slot returns the index holding k, or the insertion slot for it
+// (found=false). Fibonacci hashing spreads the sequential row indices
+// the trackers use as keys; collisions probe linearly.
+func (t *Table[V]) slot(k uint64) (int, bool) {
+	i := (k * 0x9E3779B97F4A7C15) & t.mask
+	for {
+		if t.gen[i] != t.cur {
+			return int(i), false
+		}
+		if t.keys[i] == k {
+			return int(i), true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Get returns the value stored for k and whether it was present.
+func (t *Table[V]) Get(k uint64) (V, bool) {
+	if i, ok := t.slot(k); ok {
+		return t.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Ref returns a pointer to k's value, inserting a zero value first if
+// absent. The pointer is valid until the next Ref/Set/Reset (an insert
+// may rehash).
+func (t *Table[V]) Ref(k uint64) *V {
+	i, ok := t.slot(k)
+	if !ok {
+		if (t.live+1)*maxLoadDen > len(t.keys)*maxLoadNum {
+			t.grow()
+			i, _ = t.slot(k)
+		}
+		t.keys[i] = k
+		var zero V
+		t.vals[i] = zero
+		t.gen[i] = t.cur
+		t.live++
+	}
+	return &t.vals[i]
+}
+
+// Set stores v for k.
+func (t *Table[V]) Set(k uint64, v V) { *t.Ref(k) = v }
+
+// Len returns the number of live entries.
+func (t *Table[V]) Len() int { return t.live }
+
+// Reset invalidates every entry in O(1), keeping the backing arrays:
+// the generation counter moves past every stored stamp. The (physically
+// unreachable) 2^32-reset wraparound falls back to clearing the stamps
+// so stale slots can never alias a future generation.
+func (t *Table[V]) Reset() {
+	t.live = 0
+	if t.cur == ^uint32(0) {
+		for i := range t.gen {
+			t.gen[i] = 0
+		}
+		t.cur = 0
+	}
+	t.cur++
+}
+
+// grow doubles the table and rehashes the live entries only.
+func (t *Table[V]) grow() {
+	oldKeys, oldVals, oldGen, oldCur := t.keys, t.vals, t.gen, t.cur
+	c := len(oldKeys) << 1
+	t.keys = make([]uint64, c)
+	t.vals = make([]V, c)
+	t.gen = make([]uint32, c)
+	t.cur = 1
+	t.mask = uint64(c - 1)
+	for i := range oldKeys {
+		if oldGen[i] == oldCur {
+			j, _ := t.slot(oldKeys[i])
+			t.keys[j] = oldKeys[i]
+			t.vals[j] = oldVals[i]
+			t.gen[j] = t.cur
+		}
+	}
+}

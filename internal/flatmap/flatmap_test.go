@@ -1,0 +1,139 @@
+package flatmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New[uint32](0)
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty table reports key 0 present")
+	}
+	m.Set(0, 7) // key 0 must be a legal key (liveness is generation-tracked)
+	if v, ok := m.Get(0); !ok || v != 7 {
+		t.Fatalf("Get(0) = %d, %v; want 7, true", v, ok)
+	}
+	*m.Ref(42)++
+	*m.Ref(42)++
+	if v, _ := m.Get(42); v != 2 {
+		t.Fatalf("Ref increment: got %d, want 2", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestAgainstBuiltinMap(t *testing.T) {
+	m := New[uint64](8)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(3000)) * 0x10001 // collide-prone spread
+		switch rng.Intn(3) {
+		case 0:
+			m.Set(k, uint64(i))
+			ref[k] = uint64(i)
+		case 1:
+			*m.Ref(k) += 3
+			ref[k] += 3
+		case 2:
+			got, ok := m.Get(k)
+			want, wok := ref[k]
+			if ok != wok || got != want {
+				t.Fatalf("step %d: Get(%d) = %d,%v; want %d,%v", i, k, got, ok, want, wok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final Get(%d) = %d,%v; want %d,true", k, got, ok, want)
+		}
+	}
+}
+
+func TestResetClearsAndPreservesCapacity(t *testing.T) {
+	m := New[uint32](0)
+	for k := uint64(0); k < 1000; k++ {
+		m.Set(k, uint32(k))
+	}
+	capBefore := len(m.keys)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if _, ok := m.Get(k); ok {
+			t.Fatalf("key %d survived Reset", k)
+		}
+	}
+	// Refill the same working set: the backing arrays must be reused.
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Reset()
+		for k := uint64(0); k < 1000; k++ {
+			m.Set(k, uint32(k))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+refill allocated %.1f times per run; want 0", allocs)
+	}
+	if len(m.keys) != capBefore {
+		t.Fatalf("capacity changed across Reset: %d -> %d", capBefore, len(m.keys))
+	}
+}
+
+func TestGenerationWraparound(t *testing.T) {
+	m := New[int](0)
+	m.cur = ^uint32(0) - 1 // two resets from wrapping
+	m.Set(5, 55)
+	m.Reset()
+	if _, ok := m.Get(5); ok {
+		t.Fatal("entry survived pre-wrap reset")
+	}
+	m.Set(6, 66)
+	m.Reset() // wraps
+	if _, ok := m.Get(6); ok {
+		t.Fatal("entry survived wrapping reset")
+	}
+	m.Set(7, 77)
+	if v, ok := m.Get(7); !ok || v != 77 {
+		t.Fatalf("post-wrap Get = %d,%v", v, ok)
+	}
+}
+
+func TestGrowKeepsEntries(t *testing.T) {
+	m := New[int](0) // minCap start, many grows below
+	for k := uint64(0); k < 100000; k++ {
+		m.Set(k, int(k)*3)
+	}
+	for k := uint64(0); k < 100000; k++ {
+		if v, ok := m.Get(k); !ok || v != int(k)*3 {
+			t.Fatalf("Get(%d) = %d,%v after growth", k, v, ok)
+		}
+	}
+}
+
+func BenchmarkRefHit(b *testing.B) {
+	m := New[uint32](4096)
+	for k := uint64(0); k < 4096; k++ {
+		m.Set(k, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		*m.Ref(uint64(i) & 4095)++
+	}
+}
+
+func BenchmarkReset(b *testing.B) {
+	m := New[uint32](4096)
+	for k := uint64(0); k < 4096; k++ {
+		m.Set(k, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+	}
+}

@@ -57,9 +57,15 @@ type Options struct {
 	Tracer *telemetry.Tracer
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+func (o Options) workers() int { return NormalizeJobs(o.Workers) }
+
+// NormalizeJobs resolves a -jobs style worker count: values <= 0 mean
+// "use every CPU". Every cmd and pool shares this clamp so no entry
+// point can silently accept a zero-worker configuration (which would
+// deadlock a bounded pool).
+func NormalizeJobs(n int) int {
+	if n > 0 {
+		return n
 	}
 	return runtime.NumCPU()
 }

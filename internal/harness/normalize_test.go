@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestNormalizeJobs pins the shared -jobs clamp: no entry point may
+// end up with zero workers (a bounded pool with zero workers would
+// never drain), and positive requests pass through untouched.
+func TestNormalizeJobs(t *testing.T) {
+	for _, n := range []int{0, -1, -128} {
+		if got := NormalizeJobs(n); got != runtime.NumCPU() {
+			t.Errorf("NormalizeJobs(%d) = %d, want NumCPU %d", n, got, runtime.NumCPU())
+		}
+	}
+	if got := NormalizeJobs(7); got != 7 {
+		t.Errorf("NormalizeJobs(7) = %d", got)
+	}
+	// Options must route through the same clamp.
+	if got := (Options{Workers: 0}).workers(); got != runtime.NumCPU() {
+		t.Errorf("Options{Workers: 0}.workers() = %d, want NumCPU", got)
+	}
+	if got := (Options{Workers: 3}).workers(); got != 3 {
+		t.Errorf("Options{Workers: 3}.workers() = %d", got)
+	}
+}

@@ -78,6 +78,7 @@ type Controller struct {
 	counters dram.Counters
 	stats    Stats
 	actBuf   []rh.Action
+	reqPool  []*Request // recycled injected requests (tracker counter traffic)
 
 	version uint64 // bumped on Enqueue; lets callers cache NextEvent
 }
@@ -616,7 +617,14 @@ func (c *Controller) applyActions(now dram.Cycle, acts []rh.Action, culprit int)
 				c.bulkRefreshRank(now, rk, culprit)
 			}
 		case rh.InjectRead, rh.InjectWrite:
-			req := &Request{
+			var req *Request
+			if n := len(c.reqPool); n > 0 {
+				req = c.reqPool[n-1]
+				c.reqPool = c.reqPool[:n-1]
+			} else {
+				req = new(Request)
+			}
+			*req = Request{
 				Loc:      a.Loc,
 				IsWrite:  a.Kind == rh.InjectWrite,
 				Injected: true,
@@ -696,6 +704,13 @@ func (c *Controller) removeInjected(r *Request) {
 	for i, q := range c.injected {
 		if q == r {
 			c.injected = append(c.injected[:i], c.injected[i+1:]...)
+			// Injected requests are controller-owned (service, telemetry
+			// and blame all consumed the values above), so recycle them;
+			// tracker counter traffic otherwise allocates one Request per
+			// RCC/counter-cache miss for the whole run.
+			if len(c.reqPool) < 128 {
+				c.reqPool = append(c.reqPool, r)
+			}
 			return
 		}
 	}

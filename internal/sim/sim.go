@@ -170,6 +170,16 @@ type Result struct {
 
 // Run executes the simulation.
 func Run(cfg Config) (Result, error) {
+	return run(cfg, nil, nil)
+}
+
+// run is Run with two batched-runner hooks: wrapT, applied to each
+// per-channel tracker right after construction (before the optional
+// TimingTaxer/LLCReserver extensions are probed, so a wrapper's
+// forwarded values are the ones the system sees), and extraObs, an
+// additional per-channel observer teed into the security-event stream.
+// Both nil reproduces Run exactly.
+func run(cfg Config, wrapT func(channel int, t rh.Tracker) rh.Tracker, extraObs func(channel int) rh.Observer) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Geometry.Validate(); err != nil {
 		return Result{}, err
@@ -218,6 +228,9 @@ func Run(cfg Config) (Result, error) {
 	trackers := make([]rh.Tracker, cfg.Geometry.Channels)
 	for ch := range trackers {
 		trackers[ch] = cfg.Tracker(ch)
+		if wrapT != nil {
+			trackers[ch] = wrapT(ch, trackers[ch])
+		}
 	}
 
 	// Optional tracker extensions: PRAC's ACT tax and START's LLC
@@ -237,6 +250,9 @@ func Run(cfg Config) (Result, error) {
 		var obs rh.Observer
 		if cfg.Observer != nil {
 			obs = cfg.Observer(ch)
+		}
+		if extraObs != nil {
+			obs = rh.Tee(obs, extraObs(ch))
 		}
 		if rec != nil {
 			obs = rh.Tee(obs, rec.Observer(ch))

@@ -112,9 +112,11 @@ func (mg *MisraGries) SetCount(key uint64, v uint32) {
 	}
 }
 
-// Reset clears all entries and the spillover counter.
+// Reset clears all entries and the spillover counter. The map's backing
+// storage is kept (capacity-preserving) so tREFW resets in long runs and
+// batched sweeps don't churn the allocator.
 func (mg *MisraGries) Reset() {
-	mg.counts = make(map[uint64]uint32, mg.k)
+	clear(mg.counts)
 	mg.spill = 0
 	mg.replaceable = mg.replaceable[:0]
 }

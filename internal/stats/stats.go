@@ -80,39 +80,63 @@ func Sum(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. It copies its input.
+// interpolation between closest ranks. The input is never mutated:
+// already-sorted slices are read in place (the common case for report
+// loops that sort once and query many percentiles); unsorted slices
+// are copied and sorted.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
+	if !sort.Float64sAreSorted(xs) {
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		xs = cp
+	}
+	return PercentileSorted(xs, p)
+}
+
+// PercentileSorted returns the p-th percentile (0..100) of an
+// already-sorted slice without copying or re-sorting. Callers that
+// query many percentiles of the same data should sort once and use
+// this directly. Results are undefined for unsorted input.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return cp[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return cp[len(cp)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := p / 100 * float64(len(cp)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return cp[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return cp[lo]*(1-frac) + cp[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Grouped accumulates values under string keys and reports per-key means.
-// It is used to aggregate per-workload results into per-suite results.
+// Grouped accumulates values under string keys and reports per-key
+// aggregates. It is used to aggregate per-workload results into
+// per-suite results. Percentile queries sort each key's values at most
+// once between Adds, so report loops that ask for many quantiles of
+// the same key pay a single sort.
 type Grouped struct {
-	order []string
-	vals  map[string][]float64
+	order  []string
+	vals   map[string][]float64
+	sorted map[string][]float64 // per-key sort-once cache, invalidated by Add
 }
 
 // NewGrouped returns an empty Grouped accumulator.
 func NewGrouped() *Grouped {
-	return &Grouped{vals: make(map[string][]float64)}
+	return &Grouped{
+		vals:   make(map[string][]float64),
+		sorted: make(map[string][]float64),
+	}
 }
 
 // Add appends v under key, remembering first-seen key order.
@@ -121,6 +145,7 @@ func (g *Grouped) Add(key string, v float64) {
 		g.order = append(g.order, key)
 	}
 	g.vals[key] = append(g.vals[key], v)
+	delete(g.sorted, key)
 }
 
 // Keys returns keys in first-insertion order.
@@ -134,6 +159,32 @@ func (g *Grouped) Mean(key string) float64 { return Mean(g.vals[key]) }
 
 // Count returns how many values were recorded under key.
 func (g *Grouped) Count(key string) int { return len(g.vals[key]) }
+
+// Percentile returns the p-th percentile of the values recorded under
+// key. The key's values are sorted once and cached; subsequent queries
+// for the same key (until the next Add) are O(1) lookups plus
+// interpolation, so report loops can ask for p50/p95/p99 of every key
+// without resorting.
+func (g *Grouped) Percentile(key string, p float64) float64 {
+	return PercentileSorted(g.sortedVals(key), p)
+}
+
+func (g *Grouped) sortedVals(key string) []float64 {
+	if s, ok := g.sorted[key]; ok {
+		return s
+	}
+	vs := g.vals[key]
+	if vs == nil {
+		return nil
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if g.sorted == nil {
+		g.sorted = make(map[string][]float64)
+	}
+	g.sorted[key] = s
+	return s
+}
 
 // FormatPct renders a fraction (e.g. 0.013) as a percentage string
 // ("1.3%") with one decimal.

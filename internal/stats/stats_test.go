@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -81,6 +82,69 @@ func TestPercentileDoesNotMutate(t *testing.T) {
 	}
 }
 
+// TestPercentileSortedFastPath pins the sorted-input fast path: an
+// already-sorted slice must not be copied (zero allocations) and must
+// produce the same answer as the general entry point.
+func TestPercentileSortedFastPath(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, p := range []float64{0, 12.5, 37.5, 50, 95, 100} {
+		if got, want := PercentileSorted(xs, p), Percentile(xs, p); !almostEq(got, want) {
+			t.Fatalf("p%v: PercentileSorted = %v, Percentile = %v", p, got, want)
+		}
+	}
+	if PercentileSorted(nil, 50) != 0 {
+		t.Fatal("PercentileSorted of empty should be 0")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		Percentile(xs, 95)
+	})
+	if allocs != 0 {
+		t.Fatalf("Percentile on sorted input allocated %v times per run; want 0 (copy+sort skipped)", allocs)
+	}
+}
+
+// TestPercentileFastPathEquivalence checks the sorted fast path and
+// the copy+sort slow path agree on random permutations.
+func TestPercentileFastPathEquivalence(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		p := float64(pRaw) / 2 // 0..127.5 covers both clamps
+		got := Percentile(xs, p)
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		return almostEq(got, PercentileSorted(cp, p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNaNBehavior pins what the helpers do with NaN inputs so callers
+// (and future refactors) cannot silently change it: Mean and GeoMean
+// propagate NaN; Percentile sorts NaNs first, so p0 of a NaN-bearing
+// slice is NaN while p100 is the real maximum.
+func TestNaNBehavior(t *testing.T) {
+	nan := math.NaN()
+	if !math.IsNaN(Mean([]float64{1, nan, 3})) {
+		t.Fatal("Mean with NaN input should propagate NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, nan, 3})) {
+		t.Fatal("GeoMean with NaN input should propagate NaN")
+	}
+	if !math.IsNaN(Percentile([]float64{2, nan, 1}, 0)) {
+		t.Fatal("Percentile p0 with NaN input should be NaN (NaNs sort first)")
+	}
+	if got := Percentile([]float64{2, nan, 1}, 100); got != 2 {
+		t.Fatalf("Percentile p100 with NaN input = %v, want 2", got)
+	}
+}
+
 func TestGrouped(t *testing.T) {
 	g := NewGrouped()
 	g.Add("a", 1)
@@ -98,6 +162,46 @@ func TestGrouped(t *testing.T) {
 	}
 	if len(g.Values("a")) != 2 {
 		t.Fatalf("values(a) = %v", g.Values("a"))
+	}
+}
+
+// TestGroupedPercentileSortOnce pins the sort-once cache: repeated
+// percentile queries reuse one sorted copy, an Add invalidates it, and
+// the raw insertion-order values are never disturbed.
+func TestGroupedPercentileSortOnce(t *testing.T) {
+	g := NewGrouped()
+	for _, v := range []float64{30, 10, 40, 20} {
+		g.Add("k", v)
+	}
+	if got := g.Percentile("k", 0); got != 10 {
+		t.Fatalf("p0 = %v, want 10", got)
+	}
+	if got := g.Percentile("k", 100); got != 40 {
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	if got := g.Percentile("k", 50); !almostEq(got, 25) {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	// Repeat queries must not sort again (cache hit = zero allocations).
+	allocs := testing.AllocsPerRun(10, func() {
+		g.Percentile("k", 95)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Grouped.Percentile allocated %v times per run; want 0", allocs)
+	}
+	// Raw values keep insertion order (reports that iterate Values rely
+	// on it).
+	if vs := g.Values("k"); vs[0] != 30 || vs[3] != 20 {
+		t.Fatalf("raw values disturbed by percentile queries: %v", vs)
+	}
+	// Add invalidates the cache.
+	g.Add("k", 5)
+	if got := g.Percentile("k", 0); got != 5 {
+		t.Fatalf("p0 after Add = %v, want 5 (stale sort cache?)", got)
+	}
+	// Unknown keys behave like empty slices.
+	if g.Percentile("missing", 50) != 0 {
+		t.Fatal("percentile of missing key should be 0")
 	}
 }
 

@@ -1,0 +1,79 @@
+package telemetry
+
+import "slices"
+
+// Clone returns a deep copy of the series: every windowed slice is
+// copied, nil slices stay nil (the omitempty shape survives a round
+// trip). The batched runner uses it to give lockstep followers their
+// own Series to rewrite the tracker-dependent tracks in.
+func (s *Series) Clone() *Series {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Cores = make([]CoreSeries, len(s.Cores))
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		out.Cores[i] = CoreSeries{
+			Retired:  slices.Clone(c.Retired),
+			Stalls:   slices.Clone(c.Stalls),
+			IPC:      slices.Clone(c.IPC),
+			StallROB: slices.Clone(c.StallROB),
+			StallBP:  slices.Clone(c.StallBP),
+		}
+	}
+	out.Channels = make([]ChannelSeries, len(s.Channels))
+	for i := range s.Channels {
+		c := &s.Channels[i]
+		out.Channels[i] = ChannelSeries{
+			DemandACT:         slices.Clone(c.DemandACT),
+			InjACT:            slices.Clone(c.InjACT),
+			VRR:               slices.Clone(c.VRR),
+			RFMsb:             slices.Clone(c.RFMsb),
+			DRFMsb:            slices.Clone(c.DRFMsb),
+			Bulk:              slices.Clone(c.Bulk),
+			REF:               slices.Clone(c.REF),
+			QueueOccCycles:    slices.Clone(c.QueueOccCycles),
+			InjQueueOccCycles: slices.Clone(c.InjQueueOccCycles),
+			TableUsed:         slices.Clone(c.TableUsed),
+			TableResets:       slices.Clone(c.TableResets),
+			TableCap:          c.TableCap,
+		}
+	}
+	if s.Blame != nil {
+		out.Blame = make([]BlameSeries, len(s.Blame))
+		for i := range s.Blame {
+			b := &s.Blame[i]
+			out.Blame[i] = BlameSeries{
+				Intrinsic:   slices.Clone(b.Intrinsic),
+				Conflict:    slices.Clone(b.Conflict),
+				QueueDemand: slices.Clone(b.QueueDemand),
+				Inject:      slices.Clone(b.Inject),
+				Mitigation:  slices.Clone(b.Mitigation),
+				REF:         slices.Clone(b.REF),
+				Bulk:        slices.Clone(b.Bulk),
+				Throttle:    slices.Clone(b.Throttle),
+				Sched:       slices.Clone(b.Sched),
+			}
+		}
+	}
+	return &out
+}
+
+// Clone returns a deep copy of the attribution (Cores and every Matrix
+// row). Attribution is tracker-independent given an identical command
+// stream, so lockstep followers share the lead's values but need their
+// own storage.
+func (a *Attribution) Clone() *Attribution {
+	if a == nil {
+		return nil
+	}
+	out := Attribution{Cores: slices.Clone(a.Cores)}
+	if a.Matrix != nil {
+		out.Matrix = make([][]uint64, len(a.Matrix))
+		for i := range a.Matrix {
+			out.Matrix[i] = slices.Clone(a.Matrix[i])
+		}
+	}
+	return &out
+}

@@ -12,6 +12,7 @@ package abacus
 
 import (
 	"dapper/internal/dram"
+	"dapper/internal/flatmap"
 	"dapper/internal/rh"
 	"dapper/internal/sketch"
 )
@@ -67,7 +68,7 @@ type Tracker struct {
 	cfg      Config
 	channel  int
 	mg       *sketch.MisraGries
-	bitvec   map[uint64]uint64 // per tracked row: banks seen since last count
+	bitvec   *flatmap.Table[uint64] // per tracked row: banks seen since last count
 	nextRst  dram.Cycle
 	stats    rh.Stats
 	overflow uint64
@@ -80,7 +81,7 @@ func New(channel int, cfg Config) *Tracker {
 		cfg:     cfg,
 		channel: channel,
 		mg:      sketch.NewMisraGries(cfg.Entries),
-		bitvec:  make(map[uint64]uint64, cfg.Entries),
+		bitvec:  flatmap.New[uint64](cfg.Entries),
 		nextRst: cfg.ResetWindow,
 	}
 }
@@ -96,16 +97,16 @@ func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh
 	mask := uint64(1) << bank
 
 	if t.mg.Tracked(key) {
-		bv := t.bitvec[key]
-		if bv&mask == 0 {
+		bv := t.bitvec.Ref(key)
+		if *bv&mask == 0 {
 			// First touch from this bank since the last increment: the
 			// bit-vector filters it (same idea DAPPER-H borrows).
-			t.bitvec[key] = bv | mask
+			*bv |= mask
 			return buf
 		}
 		// Same bank again: genuine repeat, count it and restart the
 		// filter.
-		t.bitvec[key] = mask
+		*bv = mask
 		count := t.mg.Add(key)
 		if count >= t.cfg.NM() {
 			buf = t.mitigateRow(loc, buf)
@@ -124,7 +125,7 @@ func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh
 		return t.overflowReset(buf)
 	}
 	if t.mg.Tracked(key) {
-		t.bitvec[key] = mask
+		t.bitvec.Set(key, mask)
 	}
 	return buf
 }
@@ -160,7 +161,7 @@ func (t *Tracker) mitigateRow(loc dram.Loc, buf []rh.Action) []rh.Action {
 
 func (t *Tracker) resetStructures() {
 	t.mg.Reset()
-	t.bitvec = make(map[uint64]uint64, t.cfg.Entries)
+	t.bitvec.Reset()
 }
 
 // Tick implements rh.Tracker: periodic reset every tREFW.

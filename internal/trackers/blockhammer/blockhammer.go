@@ -11,6 +11,7 @@ package blockhammer
 
 import (
 	"dapper/internal/dram"
+	"dapper/internal/flatmap"
 	"dapper/internal/rh"
 	"dapper/internal/sketch"
 )
@@ -63,9 +64,9 @@ func (c Config) Delay() dram.Cycle {
 type Tracker struct {
 	cfg      Config
 	channel  int
-	filters  []*sketch.CountingBloom // per flat bank, active epoch
-	previous []*sketch.CountingBloom // previous epoch (history term)
-	lastAct  map[uint64]dram.Cycle   // blacklisted rows' last allowed ACT
+	filters  []*sketch.CountingBloom    // per flat bank, active epoch
+	previous []*sketch.CountingBloom    // previous epoch (history term)
+	lastAct  *flatmap.Table[dram.Cycle] // blacklisted rows' last allowed ACT
 	epochEnd dram.Cycle
 	stats    rh.Stats
 }
@@ -78,7 +79,7 @@ func New(channel int, cfg Config) *Tracker {
 		channel:  channel,
 		filters:  make([]*sketch.CountingBloom, cfg.Geometry.BanksPerChannel()),
 		previous: make([]*sketch.CountingBloom, cfg.Geometry.BanksPerChannel()),
-		lastAct:  make(map[uint64]dram.Cycle),
+		lastAct:  flatmap.New[dram.Cycle](cfg.FilterCounters),
 		epochEnd: cfg.Window / 2,
 	}
 	for b := range t.filters {
@@ -107,7 +108,7 @@ func (t *Tracker) NextAllowed(now dram.Cycle, loc dram.Loc) dram.Cycle {
 		return now
 	}
 	k := key(fb, loc.Row)
-	last, ok := t.lastAct[k]
+	last, ok := t.lastAct.Get(k)
 	if !ok {
 		return now
 	}
@@ -127,7 +128,7 @@ func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh
 	k := key(fb, loc.Row)
 	est := t.filters[fb].Add(k)
 	if est+t.previous[fb].Estimate(k)/2 >= t.cfg.NBL() {
-		t.lastAct[k] = now
+		t.lastAct.Set(k, now)
 		t.stats.Throttled++
 	}
 	return buf
@@ -143,7 +144,7 @@ func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 	for b := range t.filters {
 		t.filters[b].Reset()
 	}
-	t.lastAct = make(map[uint64]dram.Cycle)
+	t.lastAct.Reset()
 	return buf
 }
 

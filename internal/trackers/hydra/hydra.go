@@ -12,6 +12,7 @@ package hydra
 import (
 	"dapper/internal/cache"
 	"dapper/internal/dram"
+	"dapper/internal/flatmap"
 	"dapper/internal/rh"
 )
 
@@ -66,9 +67,9 @@ type Tracker struct {
 }
 
 type rankState struct {
-	gct []uint32          // group counters
-	rcc *cache.Cache      // which per-row counters are SRAM-resident
-	rct map[uint64]uint32 // authoritative per-row counts ("in DRAM")
+	gct []uint32               // group counters
+	rcc *cache.Cache           // which per-row counters are SRAM-resident
+	rct *flatmap.Table[uint32] // authoritative per-row counts ("in DRAM")
 }
 
 // New builds a Hydra tracker for one channel.
@@ -90,7 +91,7 @@ func New(channel int, cfg Config) *Tracker {
 				Policy: cache.Random,
 				Seed:   cfg.Seed ^ uint64(channel)<<24 ^ uint64(r),
 			}),
-			rct: make(map[uint64]uint32),
+			rct: flatmap.New[uint32](4 * cfg.RCCEntries),
 		}
 	}
 	return t
@@ -114,7 +115,7 @@ func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh
 			// count (conservative, as in the original design).
 			base := g * uint64(t.cfg.GroupSize)
 			for i := uint64(0); i < uint64(t.cfg.GroupSize); i++ {
-				rk.rct[base+i] = rk.gct[g]
+				rk.rct.Set(base+i, rk.gct[g])
 			}
 		}
 		return buf
@@ -131,9 +132,10 @@ func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh
 			t.stats.InjectedWrites++
 		}
 	}
-	rk.rct[idx]++
-	if rk.rct[idx] >= t.cfg.NM() {
-		rk.rct[idx] = 0
+	cnt := rk.rct.Ref(idx)
+	*cnt++
+	if *cnt >= t.cfg.NM() {
+		*cnt = 0
 		t.stats.Mitigations++
 		t.stats.VictimRefreshes++
 		buf = append(buf, rh.Action{Kind: rh.RefreshVictims, Loc: loc, Row: loc.Row})
@@ -173,7 +175,7 @@ func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 			rk.gct[i] = 0
 		}
 		rk.rcc.Reset()
-		rk.rct = make(map[uint64]uint32)
+		rk.rct.Reset()
 	}
 	return buf
 }
@@ -205,5 +207,6 @@ func (t *Tracker) GroupCount(loc dram.Loc) uint32 {
 
 // RowCount exposes a per-row counter (test hook).
 func (t *Tracker) RowCount(loc dram.Loc) uint32 {
-	return t.ranks[loc.Rank].rct[t.cfg.Geometry.RankRowIndex(loc)]
+	v, _ := t.ranks[loc.Rank].rct.Get(t.cfg.Geometry.RankRowIndex(loc))
+	return v
 }

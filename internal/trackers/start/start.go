@@ -12,6 +12,7 @@ package start
 import (
 	"dapper/internal/cache"
 	"dapper/internal/dram"
+	"dapper/internal/flatmap"
 	"dapper/internal/rh"
 )
 
@@ -61,7 +62,7 @@ type Tracker struct {
 	// counterCache models the reserved LLC region holding counter
 	// lines; a miss is a DRAM fetch (+ write-back when dirty).
 	counterCache *cache.Cache
-	counts       map[uint64]uint32 // authoritative per-row counts
+	counts       *flatmap.Table[uint32] // authoritative per-row counts
 	nextRst      dram.Cycle
 	stats        rh.Stats
 }
@@ -82,7 +83,7 @@ func New(channel int, cfg Config) *Tracker {
 		cfg:          cfg,
 		channel:      channel,
 		counterCache: cc,
-		counts:       make(map[uint64]uint32),
+		counts:       flatmap.New[uint32](4 * lines),
 		nextRst:      cfg.ResetWindow,
 	}
 }
@@ -110,9 +111,10 @@ func (t *Tracker) OnActivate(now dram.Cycle, loc dram.Loc, buf []rh.Action) []rh
 			t.stats.InjectedWrites++
 		}
 	}
-	t.counts[idx]++
-	if t.counts[idx] >= t.cfg.NM() {
-		t.counts[idx] = 0
+	cnt := t.counts.Ref(idx)
+	*cnt++
+	if *cnt >= t.cfg.NM() {
+		*cnt = 0
 		t.stats.Mitigations++
 		t.stats.VictimRefreshes++
 		buf = append(buf, rh.Action{Kind: rh.RefreshVictims, Loc: loc, Row: loc.Row})
@@ -144,7 +146,7 @@ func (t *Tracker) Tick(now dram.Cycle, buf []rh.Action) []rh.Action {
 	}
 	t.nextRst += t.cfg.ResetWindow
 	t.counterCache.Reset()
-	t.counts = make(map[uint64]uint32)
+	t.counts.Reset()
 	return buf
 }
 
