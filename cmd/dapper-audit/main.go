@@ -163,11 +163,12 @@ func main() {
 	})
 	if *debugAddr != "" {
 		blameAgg.Publish()
-		bound, err := diag.Serve(*debugAddr, pool.Stats)
+		dbg, err := diag.Serve(*debugAddr, pool.Stats)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", dbg.Addr())
 	}
 	futs := make([]*harness.Future, len(sweep))
 	for i, job := range sweep {

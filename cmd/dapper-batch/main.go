@@ -69,16 +69,9 @@ func main() {
 		return
 	}
 
-	var p exp.Profile
-	switch *profile {
-	case "tiny":
-		p = exp.Tiny()
-	case "quick":
-		p = exp.Quick()
-	case "full":
-		p = exp.Full()
-	default:
-		fatal(fmt.Errorf("unknown profile %q (tiny|quick|full)", *profile))
+	p, err := exp.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
 	}
 	engine, err := sim.ParseEngine(*engineName)
 	if err != nil {
@@ -173,11 +166,12 @@ func main() {
 	})
 	if *debugAddr != "" {
 		blameAgg.Publish()
-		bound, err := diag.Serve(*debugAddr, pool.Stats)
+		dbg, err := diag.Serve(*debugAddr, pool.Stats)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", bound)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", dbg.Addr())
 	}
 
 	//dapper:wallclock sweep elapsed-time for the stderr summary line only

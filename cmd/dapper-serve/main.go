@@ -1,0 +1,379 @@
+// Command dapper-serve is the sweep service: a daemon exposing an
+// HTTP/JSON job API over a persistent content-addressed result store.
+// Clients submit tracker x workload x NRH sweep specs, poll job
+// status, and stream completed records as JSONL — the same
+// harness.Record lines, in the same spec order, that dapper-batch's
+// pool path writes. The store is a shared cache directory: several
+// daemons (or a daemon and local dapper-batch runs) pointed at one
+// directory split the work via claim files instead of duplicating it.
+//
+// Daemon:
+//
+//	dapper-serve -addr localhost:8080 -store .dapper-store
+//	dapper-serve -addr localhost:0 -addr-file serve.addr   # ephemeral port
+//
+// Client:
+//
+//	dapper-serve -client -server http://localhost:8080 \
+//	    -trackers none,dapper-h -workloads 429.mcf -nrh 500 \
+//	    -profile tiny -out results/
+//
+// API:
+//
+//	POST /v1/jobs              submit a sweep spec (JSON), 202/200/429
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/records completed records as JSONL (?wait=1 blocks)
+//	GET  /v1/store/stats       store + queue counters
+//	GET  /healthz              liveness probe
+//	GET  /debug/vars,/debug/pprof/  the shared diag debug mux
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dapper/internal/exp"
+	"dapper/internal/harness"
+	"dapper/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func main() {
+	// Daemon flags.
+	addr := flag.String("addr", "localhost:8080", "listen address (port 0 = ephemeral; see -addr-file)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts using port 0)")
+	storeDir := flag.String("store", ".dapper-store", "result store directory (shared across daemons and dapper-batch -cache)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "simulation workers (<=0 = NumCPU)")
+	shards := flag.Int("shards", 0, "work-queue shards (0 = workers)")
+	memEntries := flag.Int("mem-entries", 4096, "in-memory result cache bound (0 = unbounded)")
+	diskMB := flag.Int64("disk-mb", 0, "disk store size bound in MiB, LRU-evicted (0 = unbounded)")
+	rate := flag.Float64("rate", 1, "job submissions per second per client IP (0 = unlimited)")
+	burst := flag.Int("burst", 10, "submission burst per client IP")
+	maxQueue := flag.Int("max-queue", 4096, "queue depth bound; sweeps beyond it get 429 + Retry-After")
+	claimTTL := flag.Duration("claim-ttl", serve.DefaultClaimTTL, "break another process's claim after this long (crash recovery)")
+
+	// Client flags.
+	client := flag.Bool("client", false, "run as a client: submit a sweep, wait, download records")
+	server := flag.String("server", "http://localhost:8080", "daemon base URL (client mode)")
+	trackers := flag.String("trackers", "dapper-h", "comma list of tracker ids, or 'all' (client mode)")
+	wsel := flag.String("workloads", "rep", "'rep', 'all', or comma list of workload names (client mode)")
+	nrhs := flag.String("nrh", "500", "comma list of RowHammer thresholds (client mode)")
+	attackName := flag.String("attack", "none", "companion attack kind (client mode)")
+	modeName := flag.String("mode", "VRR-BR1", "mitigation mode (client mode)")
+	profile := flag.String("profile", "quick", "tiny, quick or full (client mode)")
+	seed := flag.Uint64("seed", 0, "trace seed override (client mode)")
+	engineName := flag.String("engine", "event", "simulation engine (client mode)")
+	windowUS := flag.Float64("window-us", 0, "telemetry window in microseconds (client mode)")
+	attr := flag.Bool("attr", false, "collect slowdown attribution (client mode)")
+	outDir := flag.String("out", ".", "output directory for records.jsonl (client mode)")
+	timeout := flag.Duration("timeout", 30*time.Minute, "overall client deadline")
+	flag.Parse()
+
+	if *client {
+		spec, err := specFromFlags(*trackers, *wsel, *nrhs, *attackName, *modeName,
+			*profile, *seed, *engineName, *windowUS, *attr)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runClient(*server, spec, *outDir, *timeout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := runDaemon(daemonConfig{
+		addr:       *addr,
+		addrFile:   *addrFile,
+		storeDir:   *storeDir,
+		workers:    harness.NormalizeJobs(*jobs),
+		shards:     *shards,
+		memEntries: *memEntries,
+		diskBytes:  *diskMB << 20,
+		rate:       *rate,
+		burst:      *burst,
+		maxQueue:   *maxQueue,
+		claimTTL:   *claimTTL,
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+type daemonConfig struct {
+	addr       string
+	addrFile   string
+	storeDir   string
+	workers    int
+	shards     int
+	memEntries int
+	diskBytes  int64
+	rate       float64
+	burst      int
+	maxQueue   int
+	claimTTL   time.Duration
+}
+
+// runDaemon stands the service up and runs until SIGINT/SIGTERM, then
+// stops gracefully: HTTP first (no new work), queue drain second,
+// store checkpoint last.
+func runDaemon(cfg daemonConfig) error {
+	store, err := serve.NewStore(serve.StoreOptions{
+		Dir:           cfg.storeDir,
+		MaxMemEntries: cfg.memEntries,
+		MaxDiskBytes:  cfg.diskBytes,
+		ClaimTTL:      cfg.claimTTL,
+	})
+	if err != nil {
+		return err
+	}
+	queue := serve.NewQueue(serve.QueueOptions{
+		Store:    store,
+		Workers:  cfg.workers,
+		Shards:   cfg.shards,
+		MaxQueue: cfg.maxQueue,
+		Retry:    harness.RetryPolicy{Attempts: 2, Backoff: 100 * time.Millisecond},
+	})
+	api := serve.NewAPI(serve.APIOptions{
+		Store:    store,
+		Queue:    queue,
+		Registry: serve.NewRegistry(queue),
+		Limiter:  serve.NewLimiter(cfg.rate, cfg.burst),
+		MaxQueue: cfg.maxQueue,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("dapper-serve: listen %s: %w", cfg.addr, err)
+	}
+	bound := ln.Addr().String()
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	srv := &http.Server{Handler: api.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "dapper-serve: listening on http://%s (store %s, %d workers)\n",
+		bound, cfg.storeDir, cfg.workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "dapper-serve: %v, stopping\n", sig)
+	case err := <-errc:
+		queue.Stop(context.Background()) //nolint:errcheck
+		store.Close()                    //nolint:errcheck
+		return fmt.Errorf("dapper-serve: %w", err)
+	}
+
+	//dapper:wallclock bounded graceful-stop deadlines; shutdown only
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	srv.Shutdown(httpCtx) //nolint:errcheck // stopping anyway
+	//dapper:wallclock bounded graceful-stop deadlines; shutdown only
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelDrain()
+	if err := queue.Stop(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dapper-serve: queue drain: %v\n", err)
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "dapper-serve: stopped")
+	return nil
+}
+
+// specFromFlags assembles the sweep spec a client submits, expanding
+// 'all' trackers locally so the wire spec is explicit.
+func specFromFlags(trackers, wsel, nrhs, attackName, modeName, profile string,
+	seed uint64, engine string, windowUS float64, attr bool) (exp.SweepSpec, error) {
+	ids := strings.Split(trackers, ",")
+	if trackers == "all" {
+		ids = exp.KnownTrackers()
+	}
+	var thresholds []uint32
+	for _, s := range strings.Split(nrhs, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+		if err != nil {
+			return exp.SweepSpec{}, fmt.Errorf("bad -nrh value %q: %v", s, err)
+		}
+		thresholds = append(thresholds, uint32(v))
+	}
+	var sels []string
+	for _, s := range strings.Split(wsel, ",") {
+		sels = append(sels, strings.TrimSpace(s))
+	}
+	spec := exp.SweepSpec{
+		Trackers:    ids,
+		Workloads:   sels,
+		NRHs:        thresholds,
+		Attack:      attackName,
+		Mode:        modeName,
+		Profile:     profile,
+		Seed:        seed,
+		Engine:      engine,
+		WindowUS:    windowUS,
+		Attribution: attr,
+	}
+	// Validate locally for a fast, readable error instead of a 400.
+	if _, err := spec.Normalize(); err != nil {
+		return exp.SweepSpec{}, err
+	}
+	return spec, nil
+}
+
+// runClient submits the spec, honoring 429 Retry-After, then streams
+// the job's records into <out>/records.jsonl and exits non-zero if any
+// sweep point errored.
+//
+//dapper:wallclock client-side deadline and Retry-After pacing; server results are untouched
+func runClient(server string, spec exp.SweepSpec, outDir string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	status, err := submitWithRetry(ctx, server, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s: %d points\n", status.ID, status.Total)
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	outPath := filepath.Join(outDir, "records.jsonl")
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		server+"/v1/jobs/"+status.ID+"/records?wait=1", nil)
+	if err != nil {
+		out.Close()
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		out.Close()
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out.Close()
+		return fmt.Errorf("records: %s", resp.Status)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		if _, err := out.Write(append(sc.Bytes(), '\n')); err != nil {
+			out.Close()
+			return err
+		}
+		lines++
+		fmt.Fprintf(os.Stderr, "\r[%d/%d records]", lines, status.Total)
+	}
+	fmt.Fprintln(os.Stderr)
+	if err := sc.Err(); err != nil {
+		out.Close()
+		return fmt.Errorf("records stream: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+
+	final, err := getStatus(ctx, server, status.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %d/%d points, %d cache hits, %d errors; wrote %s\n",
+		final.ID, final.Completed, final.Total, final.CacheHits, final.Errors, outPath)
+	if final.Errors > 0 {
+		return fmt.Errorf("%d sweep points failed (their records are omitted)", final.Errors)
+	}
+	return nil
+}
+
+// submitWithRetry POSTs the spec, sleeping out 429 Retry-After
+// responses until the deadline.
+//
+//dapper:wallclock sleeps between rate-limited submissions; pacing only
+func submitWithRetry(ctx context.Context, server string, spec exp.SweepSpec) (serve.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			server+"/v1/jobs", strings.NewReader(string(body)))
+		if err != nil {
+			return serve.JobStatus{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return serve.JobStatus{}, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			var status serve.JobStatus
+			err := json.NewDecoder(resp.Body).Decode(&status)
+			resp.Body.Close()
+			return status, err
+		case http.StatusTooManyRequests:
+			wait := 2 * time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "server busy; retrying in %s\n", wait)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return serve.JobStatus{}, ctx.Err()
+			}
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return serve.JobStatus{}, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+	}
+}
+
+func getStatus(ctx context.Context, server, id string) (serve.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, server+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.JobStatus{}, fmt.Errorf("status: %s", resp.Status)
+	}
+	var status serve.JobStatus
+	return status, json.NewDecoder(resp.Body).Decode(&status)
+}

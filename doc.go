@@ -39,6 +39,22 @@
 // drives the paper's figures this way; cmd/dapper-batch runs arbitrary
 // tracker x workload x NRH sweeps from flags straight to JSONL/CSV.
 //
+// internal/serve lifts the same pipeline into a service
+// (cmd/dapper-serve): an HTTP/JSON job API over a persistent store.
+// Sweep specs arrive as exp.SweepSpec payloads that normalize and
+// expand into exactly the BatchRequest the flags build — shared
+// descriptors, shared cache keys — so records streamed over HTTP are
+// byte-identical to the pool path's JSONL (modulo wall-clock fields).
+// The store is the disk cache plus a claim-file protocol: cooperating
+// daemons on one directory O_EXCL-claim each missing key, simulate it
+// once, and break claims whose owners crashed; cache entries live in
+// versioned checksummed envelopes, with corrupt files quarantined to
+// *.corrupt and re-simulated, LRU bounds on both tiers, and an
+// advisory index for cheap reopen. Submissions are rate-limited per
+// client and backpressured on queue depth (429 + Retry-After).
+// `make serve-smoke` gates service-vs-pool byte equality and the
+// quarantine-and-heal path in CI.
+//
 // # Event-driven simulation engine (internal/sim, internal/mem, internal/cpu)
 //
 // sim.Run drives the system with one of two engines (sim.Config.Engine,

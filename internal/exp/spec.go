@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"dapper/internal/attack"
+	"dapper/internal/dram"
+	"dapper/internal/rh"
+	"dapper/internal/sim"
+	"dapper/internal/workloads"
+)
+
+// SweepSpec is the wire form of a tracker × workload × NRH sweep: the
+// JSON payload dapper-serve's job API accepts, resolving to exactly
+// the BatchRequest cmd/dapper-batch builds from its flags. Expansion
+// order (tracker-major, then NRH, then workload) and every descriptor
+// — hence every cache key — are shared with the pool and batched
+// paths, so a sweep submitted over HTTP hits the same store entries a
+// local run would populate.
+type SweepSpec struct {
+	// Trackers are ids from KnownTrackers ("none" = insecure baseline).
+	Trackers []string `json:"trackers"`
+	// Workloads are selectors: "rep", "all", or workload names.
+	Workloads []string `json:"workloads"`
+	// NRHs are the RowHammer thresholds to sweep.
+	NRHs []uint32 `json:"nrhs"`
+	// Attack is the companion attack kind ("" or "none" = benign run).
+	Attack string `json:"attack,omitempty"`
+	// Mode is the mitigation command flavor ("" = VRR-BR1).
+	Mode string `json:"mode,omitempty"`
+	// Profile selects windows/geometry/seed: tiny, quick (default) or
+	// full.
+	Profile string `json:"profile,omitempty"`
+	// Seed overrides the profile's trace seed (0 = profile default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Engine is the simulation loop strategy ("" = event).
+	Engine string `json:"engine,omitempty"`
+	// WindowUS attaches the in-sim telemetry sampler (microseconds,
+	// 0 = off).
+	WindowUS float64 `json:"window_us,omitempty"`
+	// Attribution attaches the slowdown-attribution layer.
+	Attribution bool `json:"attribution,omitempty"`
+}
+
+// Normalize validates the spec and returns a fully-resolved copy:
+// defaults filled in, workload selectors expanded to explicit names.
+// Two specs describing the same sweep normalize identically, which is
+// what makes ID a usable dedup key for the job API.
+func (s SweepSpec) Normalize() (SweepSpec, error) {
+	n := s
+	if len(n.Trackers) == 0 {
+		return n, fmt.Errorf("exp: spec needs at least one tracker")
+	}
+	for _, id := range n.Trackers {
+		if _, ok := trackerBuilders[id]; !ok {
+			return n, fmt.Errorf("exp: unknown tracker %q (known: %v)", id, KnownTrackers())
+		}
+	}
+	if len(n.Workloads) == 0 {
+		return n, fmt.Errorf("exp: spec needs at least one workload selector")
+	}
+	var names []string
+	for _, sel := range n.Workloads {
+		ws, err := ResolveWorkloads(sel)
+		if err != nil {
+			return n, err
+		}
+		for _, w := range ws {
+			names = append(names, w.Name)
+		}
+	}
+	n.Workloads = names
+	if len(n.NRHs) == 0 {
+		return n, fmt.Errorf("exp: spec needs at least one NRH")
+	}
+	if n.Attack == "" {
+		n.Attack = attack.None.String()
+	}
+	kind, err := attack.ParseKind(n.Attack)
+	if err != nil {
+		return n, err
+	}
+	n.Attack = kind.String()
+	if n.Mode == "" {
+		n.Mode = rh.VRR1.String()
+	}
+	mode, merr := rh.ParseMode(n.Mode)
+	if merr != nil {
+		return n, merr
+	}
+	n.Mode = mode.String()
+	if n.Profile == "" {
+		n.Profile = "quick"
+	}
+	if _, err := ProfileByName(n.Profile); err != nil {
+		return n, err
+	}
+	if n.Engine == "" {
+		n.Engine = string(sim.EngineEvent)
+	}
+	engine, err := sim.ParseEngine(n.Engine)
+	if err != nil {
+		return n, err
+	}
+	n.Engine = string(engine.OrDefault())
+	if n.WindowUS < 0 {
+		return n, fmt.Errorf("exp: window_us must be non-negative, got %g", n.WindowUS)
+	}
+	return n, nil
+}
+
+// Request resolves the spec into the BatchRequest the harness paths
+// execute. Call on a normalized spec (Request normalizes again
+// defensively).
+func (s SweepSpec) Request() (BatchRequest, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return BatchRequest{}, err
+	}
+	p, err := ProfileByName(n.Profile)
+	if err != nil {
+		return BatchRequest{}, err
+	}
+	engine, err := sim.ParseEngine(n.Engine)
+	if err != nil {
+		return BatchRequest{}, err
+	}
+	p.Engine = engine
+	if n.Seed != 0 {
+		p.Seed = n.Seed
+	}
+	if n.WindowUS > 0 {
+		p.TelemetryWindow = dram.US(n.WindowUS)
+	}
+	p.Attribution = n.Attribution
+	kind, err := attack.ParseKind(n.Attack)
+	if err != nil {
+		return BatchRequest{}, err
+	}
+	mode, err := rh.ParseMode(n.Mode)
+	if err != nil {
+		return BatchRequest{}, err
+	}
+	var ws []workloads.Workload
+	for _, name := range n.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return BatchRequest{}, err
+		}
+		ws = append(ws, w)
+	}
+	return BatchRequest{
+		Trackers:  n.Trackers,
+		Workloads: ws,
+		NRHs:      n.NRHs,
+		Attack:    kind,
+		Mode:      mode,
+		Profile:   p,
+	}, nil
+}
+
+// Canonical returns the deterministic JSON encoding of the normalized
+// spec: the job API's dedup identity.
+func (s SweepSpec) Canonical() (string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(n)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// ID returns the content-addressed job id for the spec: "j" plus the
+// first 16 hex chars of the SHA-256 of the canonical encoding.
+// Resubmitting an equivalent spec lands on the same job.
+func (s SweepSpec) ID() (string, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(canon))
+	return "j" + hex.EncodeToString(sum[:8]), nil
+}
+
+// ProfileByName resolves a profile selector shared by the cmds and
+// the serve API ("tiny", "quick", "full", "bench").
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "quick":
+		return Quick(), nil
+	case "full":
+		return Full(), nil
+	case "bench":
+		return Bench(), nil
+	default:
+		return Profile{}, fmt.Errorf("exp: unknown profile %q (tiny|quick|full|bench)", name)
+	}
+}

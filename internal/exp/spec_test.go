@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSweepSpecDescriptorParity: a spec resolved through the API path
+// must produce byte-identical descriptors — and therefore cache keys —
+// to the BatchRequest cmd/dapper-batch builds directly. This is the
+// contract that lets dapper-serve's store and the pool path share
+// entries.
+func TestSweepSpecDescriptorParity(t *testing.T) {
+	spec := SweepSpec{
+		Trackers:  []string{"none", "dapper-h"},
+		Workloads: []string{"rep"},
+		NRHs:      []uint32{500, 1000},
+		Profile:   "tiny",
+	}
+	req, err := spec.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ResolveWorkloads("rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Tiny()
+	direct := BatchRequest{
+		Trackers:  []string{"none", "dapper-h"},
+		Workloads: ws,
+		NRHs:      []uint32{500, 1000},
+		Profile:   p,
+	}
+	specJobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJobs, err := direct.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specJobs) != len(directJobs) || len(specJobs) != 2*2*len(ws) {
+		t.Fatalf("job counts: spec %d, direct %d, want %d", len(specJobs), len(directJobs), 2*2*len(ws))
+	}
+	for i := range specJobs {
+		sk, dk := specJobs[i].Desc.Key(), directJobs[i].Desc.Key()
+		if sk != dk {
+			t.Fatalf("job %d: spec key %s != direct key %s\nspec desc %+v\ndirect desc %+v",
+				i, sk, dk, specJobs[i].Desc, directJobs[i].Desc)
+		}
+	}
+}
+
+// TestSweepSpecNormalizeDefaultsAndExpansion: defaults fill in, and
+// selector expansion makes equivalent specs canonically identical.
+func TestSweepSpecNormalizeDefaultsAndExpansion(t *testing.T) {
+	n, err := SweepSpec{
+		Trackers:  []string{"hydra"},
+		Workloads: []string{"rep"},
+		NRHs:      []uint32{500},
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Attack != "none" || n.Mode != "VRR-BR1" || n.Profile != "quick" || n.Engine != "event" {
+		t.Fatalf("defaults not filled: %+v", n)
+	}
+	ws, _ := ResolveWorkloads("rep")
+	if len(n.Workloads) != len(ws) {
+		t.Fatalf("selector not expanded: %v", n.Workloads)
+	}
+
+	// The expanded form must canonicalize identically to the selector
+	// form so job dedup keys on content, not phrasing.
+	c1, err := SweepSpec{Trackers: []string{"hydra"}, Workloads: []string{"rep"}, NRHs: []uint32{500}}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := SweepSpec{
+		Trackers: []string{"hydra"}, Workloads: n.Workloads, NRHs: []uint32{500},
+		Attack: "none", Mode: "VRR-BR1", Profile: "quick", Engine: "event",
+	}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("equivalent specs canonicalize differently:\n%s\n%s", c1, c2)
+	}
+	id1, _ := SweepSpec{Trackers: []string{"hydra"}, Workloads: []string{"rep"}, NRHs: []uint32{500}}.ID()
+	id2, _ := SweepSpec{
+		Trackers: []string{"hydra"}, Workloads: n.Workloads, NRHs: []uint32{500},
+		Attack: "none", Mode: "VRR-BR1", Profile: "quick", Engine: "event",
+	}.ID()
+	if id1 != id2 || !strings.HasPrefix(id1, "j") || len(id1) != 17 {
+		t.Fatalf("ids: %q vs %q", id1, id2)
+	}
+}
+
+// TestSweepSpecRoundTripsJSON: the wire form survives a marshal cycle,
+// since that is exactly what the job API does with it.
+func TestSweepSpecRoundTripsJSON(t *testing.T) {
+	in := SweepSpec{
+		Trackers:    []string{"para"},
+		Workloads:   []string{"429.mcf"},
+		NRHs:        []uint32{250},
+		Attack:      "streaming",
+		Mode:        "RFMsb",
+		Profile:     "tiny",
+		Seed:        7,
+		Engine:      "cycle",
+		WindowUS:    12.5,
+		Attribution: true,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SweepSpec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := in.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := out.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("round trip changed the spec:\n%s\n%s", c1, c2)
+	}
+}
+
+// TestSweepSpecValidation: every malformed field reports a usable
+// error instead of expanding into a half-broken sweep.
+func TestSweepSpecValidation(t *testing.T) {
+	base := SweepSpec{Trackers: []string{"none"}, Workloads: []string{"rep"}, NRHs: []uint32{500}}
+	cases := []struct {
+		name   string
+		mutate func(*SweepSpec)
+	}{
+		{"no trackers", func(s *SweepSpec) { s.Trackers = nil }},
+		{"unknown tracker", func(s *SweepSpec) { s.Trackers = []string{"bogus"} }},
+		{"no workloads", func(s *SweepSpec) { s.Workloads = nil }},
+		{"unknown workload", func(s *SweepSpec) { s.Workloads = []string{"not-a-workload"} }},
+		{"no nrhs", func(s *SweepSpec) { s.NRHs = nil }},
+		{"bad attack", func(s *SweepSpec) { s.Attack = "emp-burst" }},
+		{"bad mode", func(s *SweepSpec) { s.Mode = "VRR-BR9" }},
+		{"bad profile", func(s *SweepSpec) { s.Profile = "huge" }},
+		{"bad engine", func(s *SweepSpec) { s.Engine = "quantum" }},
+		{"negative window", func(s *SweepSpec) { s.WindowUS = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			tc.mutate(&s)
+			if _, err := s.Normalize(); err == nil {
+				t.Fatalf("Normalize accepted %+v", s)
+			}
+			if _, err := s.Request(); err == nil {
+				t.Fatalf("Request accepted %+v", s)
+			}
+		})
+	}
+}
+
+// TestSweepSpecProfileOverrides: seed, engine, window and attribution
+// flow into the resolved profile exactly as dapper-batch's flags do.
+func TestSweepSpecProfileOverrides(t *testing.T) {
+	req, err := SweepSpec{
+		Trackers:    []string{"none"},
+		Workloads:   []string{"429.mcf"},
+		NRHs:        []uint32{500},
+		Profile:     "tiny",
+		Seed:        99,
+		Engine:      "cycle",
+		WindowUS:    50,
+		Attribution: true,
+	}.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := req.Profile
+	if p.Seed != 99 {
+		t.Fatalf("seed override lost: %d", p.Seed)
+	}
+	if string(p.Engine) != "cycle" {
+		t.Fatalf("engine override lost: %q", p.Engine)
+	}
+	if p.TelemetryWindow == 0 {
+		t.Fatal("telemetry window not set")
+	}
+	if !p.Attribution {
+		t.Fatal("attribution flag lost")
+	}
+}

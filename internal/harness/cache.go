@@ -1,55 +1,188 @@
 package harness
 
 import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"dapper/internal/sim"
 )
 
-// Cache memoizes simulation results by descriptor key. The in-memory
-// map always participates; when dir is non-empty each result is also
-// persisted as <dir>/<key>.json, so a rerun of the same experiment
-// suite (same profile, same code) resimulates nothing.
-type Cache struct {
-	dir string
+// cacheSchema tags the on-disk entry format. Bump it whenever the
+// envelope layout changes; entries carrying any other tag (including
+// pre-envelope raw sim.Result files) are quarantined as corrupt and
+// re-simulated instead of being served as silent zero/partial results.
+const cacheSchema = "dapper-cache-v1"
 
-	mu   sync.Mutex
-	mem  map[string]sim.Result
-	hits uint64
-	miss uint64
+// indexSchema tags the advisory on-disk index.
+const indexSchema = "dapper-index-v1"
+
+const (
+	// orphanTTL is how old a put-* temp file (a crashed or failed Put)
+	// or a *.corrupt quarantine file must be before NewCache sweeps it.
+	// The grace period keeps a sweep in one process from deleting a
+	// temp file another process is writing right now.
+	orphanTTL = 15 * time.Minute
+	// defaultEvictionGrace protects recently-written disk entries from
+	// eviction: in a shared cache directory another process may have
+	// just written them, and "just written" must never mean "first
+	// evicted".
+	defaultEvictionGrace = 10 * time.Second
+	// indexEvery bounds how many disk mutations may pass between
+	// advisory index rewrites.
+	indexEvery = 64
+)
+
+// envelope is the versioned on-disk entry: the payload (a sim.Result
+// as JSON) wrapped with the schema tag, the descriptor key it serves,
+// and a checksum over the payload bytes. Get refuses anything that
+// does not verify — an empty {}, a truncated write, a foreign schema
+// or a bit-flipped payload all become misses, not fabricated Results.
+type envelope struct {
+	Schema   string          `json:"schema"`
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
 }
 
-// NewCache returns a cache; dir == "" keeps it memory-only.
+// CacheStats is a snapshot of a cache's counters and occupancy.
+type CacheStats struct {
+	MemEntries  int    `json:"mem_entries"`
+	DiskEntries int    `json:"disk_entries"`
+	DiskBytes   int64  `json:"disk_bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Quarantined uint64 `json:"quarantined"`
+	EvictedMem  uint64 `json:"evicted_mem"`
+	EvictedDisk uint64 `json:"evicted_disk"`
+}
+
+// CacheOptions configures a Cache beyond the directory.
+type CacheOptions struct {
+	// Dir backs the cache with a directory of envelope files; "" keeps
+	// it memory-only.
+	Dir string
+	// MaxMemEntries bounds the in-memory map (LRU eviction); <=0 means
+	// unbounded. Disk entries survive memory eviction, so a re-Get of
+	// an evicted key is a disk hit, not a re-simulation.
+	MaxMemEntries int
+	// MaxDiskBytes bounds the disk tier (LRU by file mtime; Get
+	// touches entries); <=0 means unbounded. The bound is approximate:
+	// entries younger than EvictionGrace are never evicted, so a burst
+	// of writes can briefly overshoot.
+	MaxDiskBytes int64
+	// EvictionGrace is the minimum age before a disk entry becomes
+	// evictable (0 = the 10s default, <0 = no grace; tests only).
+	EvictionGrace time.Duration
+}
+
+// Cache memoizes simulation results by descriptor key. The in-memory
+// map always participates; when dir is non-empty each result is also
+// persisted as <dir>/<key>.json inside a versioned, checksummed
+// envelope, so a rerun of the same experiment suite (same profile,
+// same code) resimulates nothing — and a shared cache directory can
+// back many cooperating processes (dapper-serve's result store).
+type Cache struct {
+	dir     string
+	maxMem  int
+	maxDisk int64
+	grace   time.Duration
+
+	mu          sync.Mutex
+	mem         map[string]*list.Element
+	lru         *list.List // front = most recently used
+	index       map[string]int64
+	diskBytes   int64
+	dirtyPuts   int
+	hits        uint64
+	miss        uint64
+	quarantined uint64
+	evictedMem  uint64
+	evictedDisk uint64
+}
+
+type memEntry struct {
+	key string
+	res sim.Result
+}
+
+// NewCache returns an unbounded cache; dir == "" keeps it memory-only.
 func NewCache(dir string) (*Cache, error) {
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewCacheOpts(CacheOptions{Dir: dir})
+}
+
+// NewCacheOpts builds a cache from options. Opening a disk-backed
+// cache sweeps aged put-* temp files orphaned by crashed writers and
+// loads (or rebuilds by scanning) the advisory index.
+func NewCacheOpts(opts CacheOptions) (*Cache, error) {
+	grace := opts.EvictionGrace
+	switch {
+	case grace == 0:
+		grace = defaultEvictionGrace
+	case grace < 0:
+		grace = 0
+	}
+	c := &Cache{
+		dir:     opts.Dir,
+		maxMem:  opts.MaxMemEntries,
+		maxDisk: opts.MaxDiskBytes,
+		grace:   grace,
+		mem:     make(map[string]*list.Element),
+		lru:     list.New(),
+		index:   make(map[string]int64),
+	}
+	if c.dir != "" {
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
 			return nil, fmt.Errorf("harness: cache dir: %w", err)
 		}
+		c.sweepOrphans()
+		if !c.loadIndex() {
+			c.rescanDisk()
+		}
+		c.persistIndex()
 	}
-	return &Cache{dir: dir, mem: make(map[string]sim.Result)}, nil
+	return c, nil
 }
 
 // Get returns the cached result for key, consulting memory first and
-// then disk (populating memory on a disk hit).
+// then disk (populating memory on a disk hit). A disk entry that fails
+// envelope verification — wrong schema, wrong key, checksum mismatch,
+// or undecodable JSON — is quarantined (renamed to *.corrupt) and
+// reported as a miss, so a corrupted shared store heals by
+// re-simulating instead of serving garbage or re-parsing the same bad
+// file on every lookup.
+//
+//dapper:wallclock disk hits touch the entry's mtime so eviction is least-recently-used; timestamps never reach a Result
 func (c *Cache) Get(key string) (sim.Result, bool) {
 	c.mu.Lock()
-	if res, ok := c.mem[key]; ok {
+	if el, ok := c.mem[key]; ok {
+		c.lru.MoveToFront(el)
 		c.hits++
+		res := el.Value.(*memEntry).res
 		c.mu.Unlock()
 		return res, true
 	}
 	c.mu.Unlock()
 	if c.dir != "" {
-		data, err := os.ReadFile(c.path(key))
+		path := c.path(key)
+		data, err := os.ReadFile(path)
 		if err == nil {
-			var res sim.Result
-			if json.Unmarshal(data, &res) == nil {
+			res, ok := decodeEnvelope(key, data)
+			if !ok {
+				c.quarantine(key, path)
+			} else {
+				now := time.Now()
+				_ = os.Chtimes(path, now, now) // best-effort LRU touch
 				c.mu.Lock()
-				c.mem[key] = res
+				c.memInsert(key, res)
 				c.hits++
 				c.mu.Unlock()
 				return res, true
@@ -63,16 +196,27 @@ func (c *Cache) Get(key string) (sim.Result, bool) {
 }
 
 // Put stores a result under key, writing through to disk when
-// configured. Disk writes go via a temp file + rename so concurrent
-// processes sharing a cache directory never observe torn files.
+// configured. Disk writes go via a put-* temp file + rename so
+// concurrent processes sharing a cache directory never observe torn
+// files; the entry is wrapped in the versioned checksummed envelope.
 func (c *Cache) Put(key string, res sim.Result) error {
 	c.mu.Lock()
-	c.mem[key] = res
+	c.memInsert(key, res)
 	c.mu.Unlock()
 	if c.dir == "" {
 		return nil
 	}
-	data, err := json.Marshal(res)
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("harness: cache encode: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(envelope{
+		Schema:   cacheSchema,
+		Key:      key,
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  payload,
+	})
 	if err != nil {
 		return fmt.Errorf("harness: cache encode: %w", err)
 	}
@@ -89,10 +233,27 @@ func (c *Cache) Put(key string, res sim.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache write: %w", err)
 	}
-	return os.Rename(tmp.Name(), c.path(key))
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	c.mu.Lock()
+	c.diskBytes += int64(len(data)) - c.index[key]
+	c.index[key] = int64(len(data))
+	c.dirtyPuts++
+	needEvict := c.maxDisk > 0 && c.diskBytes > c.maxDisk
+	needIndex := c.dirtyPuts >= indexEvery
+	c.mu.Unlock()
+	if needEvict {
+		c.evictDisk()
+	}
+	if needIndex {
+		c.persistIndex()
+	}
+	return nil
 }
 
-// Hits and Misses report lookup statistics.
+// Hits reports successful lookups.
 func (c *Cache) Hits() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -104,6 +265,281 @@ func (c *Cache) Misses() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.miss
+}
+
+// Stats returns a snapshot of the cache's counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		MemEntries:  len(c.mem),
+		DiskEntries: len(c.index),
+		DiskBytes:   c.diskBytes,
+		Hits:        c.hits,
+		Misses:      c.miss,
+		Quarantined: c.quarantined,
+		EvictedMem:  c.evictedMem,
+		EvictedDisk: c.evictedDisk,
+	}
+}
+
+// Dir returns the backing directory ("" for memory-only caches).
+func (c *Cache) Dir() string { return c.dir }
+
+// Close persists the advisory index. The cache remains usable; Close
+// exists so long-running daemons can checkpoint on graceful stop.
+func (c *Cache) Close() error {
+	c.persistIndex()
+	return nil
+}
+
+// memInsert adds or refreshes a memory entry and evicts LRU entries
+// beyond the bound. Caller holds c.mu.
+func (c *Cache) memInsert(key string, res sim.Result) {
+	if el, ok := c.mem[key]; ok {
+		el.Value.(*memEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.mem[key] = c.lru.PushFront(&memEntry{key: key, res: res})
+	if c.maxMem <= 0 {
+		return
+	}
+	for c.lru.Len() > c.maxMem {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.lru.Remove(back)
+		delete(c.mem, back.Value.(*memEntry).key)
+		c.evictedMem++
+	}
+}
+
+// quarantine renames a failed-verification entry to <path>.corrupt so
+// the next lookup misses cleanly instead of re-reading the bad bytes.
+// Rename keeps the evidence for postmortems; the orphan sweep removes
+// aged quarantine files.
+func (c *Cache) quarantine(key, path string) {
+	_ = os.Rename(path, path+".corrupt")
+	c.mu.Lock()
+	c.quarantined++
+	if size, ok := c.index[key]; ok {
+		c.diskBytes -= size
+		delete(c.index, key)
+	}
+	c.mu.Unlock()
+}
+
+// decodeEnvelope verifies one on-disk entry against the schema tag,
+// the descriptor key and the payload checksum, and decodes the result.
+func decodeEnvelope(key string, data []byte) (sim.Result, bool) {
+	var env envelope
+	if json.Unmarshal(data, &env) != nil {
+		return sim.Result{}, false
+	}
+	if env.Schema != cacheSchema || env.Key != key {
+		return sim.Result{}, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.Checksum {
+		return sim.Result{}, false
+	}
+	var res sim.Result
+	if json.Unmarshal(env.Payload, &res) != nil {
+		return sim.Result{}, false
+	}
+	return res, true
+}
+
+// sweepOrphans removes put-* temp files and *.corrupt quarantine files
+// older than orphanTTL: crashed or failed Puts must not litter a
+// long-lived shared store forever. Young temp files are left alone —
+// another process may be mid-write.
+//
+//dapper:wallclock file ages gate the orphan sweep only; nothing reaches a Result
+func (c *Cache) sweepOrphans() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-orphanTTL)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || (!strings.HasPrefix(name, "put-") && !strings.HasSuffix(name, ".corrupt")) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		_ = os.Remove(filepath.Join(c.dir, name))
+	}
+}
+
+// diskEntryKey maps an entry filename to its descriptor key ("" for
+// non-entry files: the index, temp files, quarantines).
+func diskEntryKey(name string) string {
+	if name == "index.json" || !strings.HasSuffix(name, ".json") {
+		return ""
+	}
+	return strings.TrimSuffix(name, ".json")
+}
+
+// rescanDisk rebuilds the index from the directory. Caller must not
+// hold c.mu.
+func (c *Cache) rescanDisk() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	index := make(map[string]int64)
+	var bytes int64
+	for _, e := range entries {
+		key := diskEntryKey(e.Name())
+		if key == "" || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		index[key] = info.Size()
+		bytes += info.Size()
+	}
+	c.mu.Lock()
+	c.index = index
+	c.diskBytes = bytes
+	c.mu.Unlock()
+}
+
+// indexFile is the advisory on-disk index: entry sizes keyed by
+// descriptor key, so a huge store reopens without a full rescan and
+// external tools can see occupancy. The entry files remain the source
+// of truth — Get always falls through to the file, so a stale index
+// (another process wrote entries since) only under-reports stats
+// until the next rewrite.
+type indexFile struct {
+	Schema  string           `json:"schema"`
+	Entries map[string]int64 `json:"entries"`
+}
+
+// loadIndex reads the advisory index; false means rebuild by scan.
+func (c *Cache) loadIndex() bool {
+	data, err := os.ReadFile(filepath.Join(c.dir, "index.json"))
+	if err != nil {
+		return false
+	}
+	var idx indexFile
+	if json.Unmarshal(data, &idx) != nil || idx.Schema != indexSchema || idx.Entries == nil {
+		return false
+	}
+	var bytes int64
+	for _, size := range idx.Entries {
+		bytes += size
+	}
+	c.mu.Lock()
+	c.index = idx.Entries
+	c.diskBytes = bytes
+	c.mu.Unlock()
+	return true
+}
+
+// persistIndex writes the advisory index via temp + rename.
+func (c *Cache) persistIndex() {
+	if c.dir == "" {
+		return
+	}
+	c.mu.Lock()
+	snapshot := make(map[string]int64, len(c.index))
+	for k, v := range c.index {
+		snapshot[k] = v
+	}
+	c.dirtyPuts = 0
+	c.mu.Unlock()
+	data, err := json.Marshal(indexFile{Schema: indexSchema, Entries: snapshot})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-index-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, "index.json")); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// evictDisk rescans the directory (the authoritative view in a shared
+// store: other processes write entries this process never saw) and
+// deletes least-recently-used entries until the tier fits the budget.
+// Entries younger than the eviction grace are never deleted, so an
+// entry another process just wrote survives this process's eviction
+// pass even when the budget says otherwise.
+//
+//dapper:wallclock mtime ordering implements disk LRU; timestamps never reach a Result
+func (c *Cache) evictDisk() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type diskEntry struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var all []diskEntry
+	var total int64
+	for _, e := range entries {
+		key := diskEntryKey(e.Name())
+		if key == "" || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		all = append(all, diskEntry{key: key, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	cutoff := time.Now().Add(-c.grace)
+	index := make(map[string]int64, len(all))
+	for _, e := range all {
+		index[e.key] = e.size
+	}
+	var evicted uint64
+	for _, e := range all {
+		if c.maxDisk <= 0 || total <= c.maxDisk {
+			break
+		}
+		if e.mtime.After(cutoff) {
+			// Everything after this entry is younger still: stop.
+			break
+		}
+		if os.Remove(c.path(e.key)) == nil {
+			total -= e.size
+			delete(index, e.key)
+			evicted++
+		}
+	}
+	c.mu.Lock()
+	c.index = index
+	c.diskBytes = total
+	c.evictedDisk += evicted
+	// Disk eviction must not leave evicted keys pinned in memory
+	// forever in a bounded configuration; the memory LRU already
+	// bounds that tier independently.
+	c.mu.Unlock()
 }
 
 func (c *Cache) path(key string) string {

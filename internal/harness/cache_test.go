@@ -1,0 +1,395 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dapper/internal/sim"
+)
+
+// writeRaw plants raw bytes as the disk entry for key, bypassing Put.
+func writeRaw(t *testing.T, dir, key string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCacheRejectsUnversionedAndCorruptEntries pins the PR-10 bugfix:
+// any JSON-decodable file used to count as a hit, so an empty {}, a
+// truncated write, or a pre-envelope schema file was served as a
+// zero/partial Result. All of them must now miss, be quarantined to
+// *.corrupt, and not be re-parsed on the next lookup.
+func TestCacheRejectsUnversionedAndCorruptEntries(t *testing.T) {
+	legacy, _ := json.Marshal(testResult(3.0)) // pre-envelope format: raw sim.Result
+	good := func() []byte {
+		payload, _ := json.Marshal(testResult(3.0))
+		sum := sha256.Sum256(payload)
+		data, _ := json.Marshal(envelope{
+			Schema: cacheSchema, Key: "k-tamper", Checksum: hex.EncodeToString(sum[:]),
+			Payload: payload,
+		})
+		return data
+	}()
+	tampered := []byte(strings.Replace(string(good), `"Cycles":1000`, `"Cycles":9999`, 1))
+	cases := map[string]struct {
+		key  string
+		data []byte
+	}{
+		"empty-object":   {"k-empty", []byte(`{}`)},
+		"truncated":      {"k-trunc", []byte(`{"schema":"dapper-cache-v1","key":"k-trunc","pay`)},
+		"legacy-schema":  {"k-legacy", legacy},
+		"foreign-schema": {"k-foreign", []byte(`{"schema":"other-v9","key":"k-foreign","checksum":"","payload":{}}`)},
+		"wrong-key":      {"k-wrongkey", good},
+		"bad-checksum":   {"k-tamper", tampered},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := writeRaw(t, dir, tc.key, tc.data)
+			c, err := NewCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res, ok := c.Get(tc.key); ok {
+				t.Fatalf("corrupt entry served as a hit: %+v", res)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry still at %s, want quarantined", path)
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			if got := c.Stats().Quarantined; got != 1 {
+				t.Fatalf("quarantined = %d, want 1", got)
+			}
+			// Second lookup: a clean miss, no re-parse, no double quarantine.
+			if _, ok := c.Get(tc.key); ok {
+				t.Fatal("quarantined entry hit on second lookup")
+			}
+			if got := c.Stats().Quarantined; got != 1 {
+				t.Fatalf("second lookup re-quarantined: %d", got)
+			}
+			// A fresh Put heals the slot and round-trips.
+			if err := c.Put(tc.key, testResult(4.0)); err != nil {
+				t.Fatal(err)
+			}
+			if res, ok := c.Get(tc.key); !ok || res.IPC[0] != 4.0 {
+				t.Fatalf("healed entry: ok=%v res=%+v", ok, res)
+			}
+		})
+	}
+}
+
+// TestCacheSweepsOrphanTempFiles pins the leaked put-* satellite: a
+// directory littered with aged temp files (crashed Puts) comes up
+// clean, while young temp files — potentially another process's
+// in-flight write — survive.
+func TestCacheSweepsOrphanTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	old := time.Now().Add(-2 * orphanTTL)
+	for i := 0; i < 5; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("put-orphan%d", i))
+		if err := os.WriteFile(path, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agedCorrupt := filepath.Join(dir, "dead.json.corrupt")
+	if err := os.WriteFile(agedCorrupt, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(agedCorrupt, old, old); err != nil {
+		t.Fatal(err)
+	}
+	young := filepath.Join(dir, "put-inflight")
+	if err := os.WriteFile(young, []byte("writing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "put-orphan") {
+			t.Fatalf("aged orphan %s survived the sweep", e.Name())
+		}
+		if strings.HasSuffix(e.Name(), ".corrupt") {
+			t.Fatalf("aged quarantine file %s survived the sweep", e.Name())
+		}
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Fatal("young temp file (possibly another process's in-flight write) was swept")
+	}
+}
+
+// TestCacheMemoryLRUBound: the in-memory map stays bounded, evicted
+// entries fall back to disk, and re-Gets re-admit them.
+func TestCacheMemoryLRUBound(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCacheOpts(CacheOptions{Dir: dir, MaxMemEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), testResult(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.MemEntries != 4 {
+		t.Fatalf("mem entries = %d, want 4", st.MemEntries)
+	}
+	if st.EvictedMem != 8 {
+		t.Fatalf("evicted = %d, want 8", st.EvictedMem)
+	}
+	// Memory-evicted entries are still disk hits.
+	for i := 0; i < 12; i++ {
+		if res, ok := c.Get(fmt.Sprintf("k%d", i)); !ok || res.IPC[0] != float64(i) {
+			t.Fatalf("k%d: ok=%v res=%+v", i, ok, res)
+		}
+	}
+	// Memory-only bounded cache: eviction loses the entry entirely —
+	// but never corrupts the survivors.
+	m, err := NewCacheOpts(CacheOptions{MaxMemEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Put("a", testResult(1))
+	m.Put("b", testResult(2))
+	m.Put("c", testResult(3))
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("LRU entry a must be evicted")
+	}
+	if res, ok := m.Get("c"); !ok || res.IPC[0] != 3 {
+		t.Fatal("newest entry lost")
+	}
+}
+
+// TestCacheDiskLRUEviction: the disk tier stays near the byte budget,
+// evicting oldest-mtime entries first, and never touches entries
+// younger than the eviction grace.
+func TestCacheDiskLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put("size-probe", testResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := probe.Stats().DiskBytes
+	if entrySize <= 0 {
+		t.Fatal("probe entry has no size")
+	}
+	os.Remove(filepath.Join(dir, "size-probe.json"))
+
+	c, err := NewCacheOpts(CacheOptions{
+		Dir:           dir,
+		MaxDiskBytes:  4 * entrySize,
+		EvictionGrace: -1, // everything evictable immediately
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := c.Put(key, testResult(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		// Age each entry so mtime order equals put order.
+		ts := old.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, key+".json"), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.DiskBytes > 5*entrySize {
+		t.Fatalf("disk bytes = %d, want <= %d", st.DiskBytes, 5*entrySize)
+	}
+	if st.EvictedDisk == 0 {
+		t.Fatal("no disk evictions recorded")
+	}
+	// The newest entries must survive; k9 was written last.
+	if _, err := os.Stat(filepath.Join(dir, "k9.json")); err != nil {
+		t.Fatal("newest entry evicted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k0.json")); !os.IsNotExist(err) {
+		t.Fatal("oldest entry survived a full-budget eviction")
+	}
+
+	// With the default grace, a fresh write is immune even over budget.
+	g, err := NewCacheOpts(CacheOptions{Dir: t.TempDir(), MaxDiskBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Put("fresh", testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Get("fresh"); !ok {
+		t.Fatal("entry younger than the eviction grace was evicted")
+	}
+}
+
+// TestCacheIndexPersistsAndRebuilds: Close writes the advisory index,
+// a reopen loads it, and a deleted index falls back to a scan with
+// identical occupancy numbers.
+func TestCacheIndexPersistsAndRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), testResult(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := c.Stats()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatalf("index.json not written: %v", err)
+	}
+	fromIndex, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fromIndex.Stats(); got.DiskEntries != want.DiskEntries || got.DiskBytes != want.DiskBytes {
+		t.Fatalf("index reopen: %+v, want entries/bytes of %+v", got, want)
+	}
+	os.Remove(filepath.Join(dir, "index.json"))
+	fromScan, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fromScan.Stats(); got.DiskEntries != want.DiskEntries || got.DiskBytes != want.DiskBytes {
+		t.Fatalf("scan reopen: %+v, want entries/bytes of %+v", got, want)
+	}
+	// The index file must never be served as a cache entry.
+	if _, ok := fromScan.Get("index"); ok {
+		t.Fatal("index.json served as an entry")
+	}
+}
+
+// TestCacheSharedDirMultiInstance is the multi-process shared-store
+// satellite (run under -race in CI): two Cache instances over one
+// directory doing concurrent Put/Get/evict must never tear a read, and
+// eviction must never delete an entry the other instance just wrote.
+func TestCacheSharedDirMultiInstance(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Cache {
+		c, err := NewCacheOpts(CacheOptions{
+			Dir: dir,
+			// A tight budget so eviction passes actually run; the default
+			// grace protects just-written entries.
+			MaxDiskBytes:  1,
+			MaxMemEntries: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := open(), open()
+	const (
+		writers = 4
+		keys    = 16
+		rounds  = 30
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		for _, c := range []*Cache{a, b} {
+			wg.Add(1)
+			go func(c *Cache, w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					key := fmt.Sprintf("shared-%d", (w+r)%keys)
+					want := float64((w + r) % keys)
+					if err := c.Put(key, testResult(want)); err != nil {
+						t.Errorf("put %s: %v", key, err)
+						return
+					}
+					// An immediate re-read must be a hit with untorn content:
+					// the entry was just written, so the grace window shields
+					// it from the other instance's eviction.
+					res, ok := c.Get(key)
+					if !ok {
+						t.Errorf("just-written %s missing (evicted or torn)", key)
+						return
+					}
+					if res.IPC[0] != want || res.Cycles != 1000 {
+						t.Errorf("torn read on %s: %+v", key, res)
+						return
+					}
+				}
+			}(c, w)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if a.Stats().Quarantined != 0 || b.Stats().Quarantined != 0 {
+		t.Fatalf("concurrent instances quarantined valid entries: a=%+v b=%+v",
+			a.Stats(), b.Stats())
+	}
+}
+
+// TestCacheDiskRoundTripAcrossInstances upgrades the old round-trip
+// test: what one instance Put, a later instance must Get through the
+// envelope — including the full embedded Result payload.
+func TestCacheDiskRoundTripAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	key := testDesc("roundtrip", 500).Key()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testResult(2.5)
+	want.Counters.ACT = 12345
+	if err := c1.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("fresh instance missed a persisted entry")
+	}
+	if got.IPC[0] != 2.5 || got.Counters.ACT != 12345 || got.TrackerNames[0] != "DAPPER-H" {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	// The on-disk bytes really are the envelope, not a raw Result.
+	raw, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Schema != cacheSchema || env.Key != key {
+		t.Fatalf("on-disk entry is not a v1 envelope: err=%v schema=%q", err, env.Schema)
+	}
+	var res sim.Result
+	if err := json.Unmarshal(env.Payload, &res); err != nil || res.Counters.ACT != 12345 {
+		t.Fatalf("envelope payload does not decode to the Result: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -36,6 +38,19 @@ func (f *Future) Wait() (sim.Result, error) {
 	return f.res, f.err
 }
 
+// WaitCtx blocks until the job completes or ctx is done, whichever
+// comes first. A ctx error abandons the wait, not the job: the job
+// still runs to completion in the pool (simulations are not
+// interruptible mid-run) and its result stays cached.
+func (f *Future) WaitCtx(ctx context.Context) (sim.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return sim.Result{}, ctx.Err()
+	}
+}
+
 // Cached reports (after Wait) whether the result came from the cache.
 func (f *Future) Cached() bool {
 	<-f.done
@@ -44,6 +59,37 @@ func (f *Future) Cached() bool {
 
 // Desc returns the job's descriptor.
 func (f *Future) Desc() Descriptor { return f.desc }
+
+// transientError marks an error as retryable by the pool's retry
+// policy. Simulation errors are deterministic (same inputs, same
+// failure) and must not be marked; infrastructure errors — a shared
+// store hiccup, a remote claim timeout — may be.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so the pool's RetryPolicy retries it.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// RetryPolicy retries jobs whose Run returned a transient error (see
+// MarkTransient). Attempts is the number of retries after the first
+// try; Backoff is the first retry's delay, doubling per retry.
+type RetryPolicy struct {
+	Attempts int
+	Backoff  time.Duration
+}
 
 // Stats summarizes a pool's activity.
 type Stats struct {
@@ -58,6 +104,12 @@ type Stats struct {
 	// gauge, not a counter (expvar/debug endpoints poll it live).
 	Inflight int
 	Errors   int // jobs that returned an error
+	// Retries counts re-executions of jobs whose previous attempt
+	// returned a transient error.
+	Retries int
+	// Cancelled counts jobs completed with the pool context's error
+	// without ever running.
+	Cancelled int
 	// CacheWriteErrors counts failed memoization writes; the runs
 	// themselves still succeed.
 	CacheWriteErrors int
@@ -76,11 +128,23 @@ const (
 	laneSinkOffset  = 1
 )
 
+// queued is one pending dispatch: the future plus the job closure and
+// its submission time (for the queue-wait trace span).
+type queued struct {
+	f         *Future
+	job       Job
+	submitted time.Time
+}
+
 // Pool fans jobs out over a bounded set of workers, deduplicating by
 // descriptor key and consulting the cache before simulating. One pool
 // can serve many experiments; dedup and the cache then span all of
 // them (shared insecure baselines run once per process, not once per
 // figure).
+//
+// Dispatch is bounded: submissions park in an in-memory queue and at
+// most Workers goroutines exist at any moment, so a 1e5-point sweep
+// costs a slice of queued entries, not 1e5 parked goroutines.
 type Pool struct {
 	cache      *Cache
 	sinks      []Sink
@@ -88,13 +152,17 @@ type Pool struct {
 	onResult   func(Descriptor, sim.Result)
 	tracer     *telemetry.Tracer
 	workers    int
-	slots      chan int // worker ids 0..workers-1; doubles as the semaphore
+	ctx        context.Context
+	retry      RetryPolicy
 	wg         sync.WaitGroup
 
 	// cbMu serializes completion bookkeeping + progress callback so
 	// OnProgress observes strictly increasing done counts.
 	cbMu    sync.Mutex
 	mu      sync.Mutex
+	queue   []queued
+	active  int   // worker goroutines currently alive
+	freeIDs []int // trace lane ids not held by a live worker
 	futures map[string]*Future
 	order   []*Future
 	elapsed map[string]time.Duration
@@ -113,12 +181,14 @@ func NewPool(opts Options) *Pool {
 		onResult:   opts.OnResult,
 		tracer:     opts.Tracer,
 		workers:    n,
-		slots:      make(chan int, n),
+		ctx:        opts.Context,
+		retry:      opts.Retry,
 		futures:    make(map[string]*Future),
 		elapsed:    make(map[string]time.Duration),
 	}
-	for i := 0; i < n; i++ {
-		p.slots <- i
+	p.freeIDs = make([]int, n)
+	for i := range p.freeIDs {
+		p.freeIDs[i] = n - 1 - i // pop from the tail → worker 0 first
 	}
 	if p.tracer != nil {
 		for i := 0; i < n; i++ {
@@ -132,7 +202,8 @@ func NewPool(opts Options) *Pool {
 
 // Submit enqueues a job and returns its future. A job whose descriptor
 // key was already submitted returns the existing future without running
-// anything.
+// anything. Submit never blocks: the job parks in the dispatch queue
+// until one of the pool's bounded workers frees up.
 func (p *Pool) Submit(job Job) *Future {
 	key := job.Desc.Key()
 	p.mu.Lock()
@@ -145,19 +216,55 @@ func (p *Pool) Submit(job Job) *Future {
 	p.futures[key] = f
 	p.order = append(p.order, f)
 	p.stats.Unique++
-	p.mu.Unlock()
-
 	p.wg.Add(1)
 	//dapper:wallclock submission timestamp feeds the queue-wait trace span only, never a Result
-	go p.execute(f, job, time.Now())
+	p.queue = append(p.queue, queued{f: f, job: job, submitted: time.Now()})
+	spawn := p.active < p.workers && len(p.freeIDs) > 0
+	var lane int
+	if spawn {
+		p.active++
+		lane = p.freeIDs[len(p.freeIDs)-1]
+		p.freeIDs = p.freeIDs[:len(p.freeIDs)-1]
+	}
+	p.mu.Unlock()
+	if spawn {
+		go p.worker(lane)
+	}
 	return f
 }
 
-// execute runs one job to completion on a worker slot.
+// worker drains the dispatch queue and exits when it is empty; the
+// next Submit respawns it. At most Workers workers are ever alive, so
+// goroutine count stays O(workers) regardless of backlog depth.
+func (p *Pool) worker(lane int) {
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.active--
+			p.freeIDs = append(p.freeIDs, lane)
+			p.mu.Unlock()
+			return
+		}
+		item := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		p.execute(lane, item)
+	}
+}
+
+// execute runs one job to completion on a worker lane.
 //
 //dapper:wallclock measures cache-lookup and simulation elapsed time for Stats and trace spans; results stay a pure function of the Descriptor
-func (p *Pool) execute(f *Future, job Job, submitted time.Time) {
+func (p *Pool) execute(lane int, item queued) {
+	f, job := item.f, item.job
 	defer p.wg.Done()
+	if p.ctx != nil && p.ctx.Err() != nil {
+		p.mu.Lock()
+		p.stats.Cancelled++
+		p.mu.Unlock()
+		p.finish(f, p.ctx.Err(), 0)
+		return
+	}
 	if p.cache != nil {
 		lookupStart := time.Now()
 		res, ok := p.cache.Get(f.key)
@@ -174,21 +281,19 @@ func (p *Pool) execute(f *Future, job Job, submitted time.Time) {
 		p.stats.CacheMisses++
 		p.mu.Unlock()
 	}
-	lane := <-p.slots // cache hits above never occupy a worker slot
 	p.mu.Lock()
 	p.stats.Inflight++
 	p.mu.Unlock()
 	start := time.Now()
-	res, err := job.Run()
+	res, err := p.runWithRetry(job)
 	end := time.Now()
 	p.mu.Lock()
 	p.stats.Inflight--
 	p.mu.Unlock()
-	p.slots <- lane
 	if p.tracer != nil {
 		// The queue-wait span sits on the same lane as its run span, so a
 		// worker row reads wait → run → wait → run left to right.
-		p.tracer.Span(lane, "wait "+f.desc.String(), "queue", submitted, start,
+		p.tracer.Span(lane, "wait "+f.desc.String(), "queue", item.submitted, start,
 			map[string]string{"key": f.key})
 		outcome := "ok"
 		if err != nil {
@@ -211,6 +316,54 @@ func (p *Pool) execute(f *Future, job Job, submitted time.Time) {
 		}
 	}
 	p.finish(f, err, elapsed)
+}
+
+// runWithRetry executes the job, re-running it with exponential
+// backoff while the error is transient and the retry budget lasts.
+//
+//dapper:wallclock backoff sleeps pace retries of transient infrastructure errors; no timestamp reaches a Result
+func (p *Pool) runWithRetry(job Job) (sim.Result, error) {
+	res, err := job.Run()
+	if err == nil || p.retry.Attempts <= 0 {
+		return res, err
+	}
+	backoff := p.retry.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for attempt := 0; attempt < p.retry.Attempts && IsTransient(err); attempt++ {
+		if !sleepCtx(p.ctx, backoff) {
+			return res, p.ctx.Err()
+		}
+		backoff *= 2
+		p.mu.Lock()
+		p.stats.Retries++
+		p.mu.Unlock()
+		res, err = job.Run()
+		if err == nil {
+			return res, nil
+		}
+	}
+	return res, err
+}
+
+// sleepCtx sleeps for d unless ctx is done first; it reports whether
+// the full sleep elapsed.
+//
+//dapper:wallclock retry backoff timer; never observable in a Result
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 func (p *Pool) finish(f *Future, err error, elapsed time.Duration) {

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+
+	"dapper/internal/diag"
+	"dapper/internal/exp"
+)
+
+// maxSpecBytes bounds a job submission body; a sweep spec is a few
+// hundred bytes, so anything near the bound is garbage.
+const maxSpecBytes = 1 << 20
+
+// APIOptions wires the API's collaborators.
+type APIOptions struct {
+	Store    *Store
+	Queue    *Queue
+	Registry *Registry
+	// Limiter rate-limits job submissions per client IP (nil = no
+	// limiting).
+	Limiter *Limiter
+	// MaxQueue is the backpressure bound the API pre-checks before
+	// admitting a sweep's points (<=0 = the queue's own bound).
+	MaxQueue int
+}
+
+// API is the HTTP surface of the sweep service.
+type API struct {
+	store    *Store
+	queue    *Queue
+	registry *Registry
+	limiter  *Limiter
+	maxQueue int
+}
+
+// NewAPI builds the API.
+func NewAPI(opts APIOptions) *API {
+	maxQueue := opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = opts.Queue.Max()
+	}
+	return &API{
+		store:    opts.Store,
+		queue:    opts.Queue,
+		registry: opts.Registry,
+		limiter:  opts.Limiter,
+		maxQueue: maxQueue,
+	}
+}
+
+// Handler returns the service mux: the job API under /v1/, a health
+// probe, and the shared diag debug mux (expvar + pprof) under /debug/.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", a.submitJob)
+	mux.HandleFunc("GET /v1/jobs", a.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.jobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/records", a.jobRecords)
+	mux.HandleFunc("GET /v1/store/stats", a.storeStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	mux.Handle("/debug/", diag.NewMux())
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+// clientID keys the rate limiter: the remote IP, so one greedy client
+// cannot starve the rest of the submission budget.
+func clientID(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// submitJob admits a sweep: rate limit, decode, validate, backpressure
+// check, then dedup-or-create. 202 for a new job, 200 for a dedup hit,
+// 429 with Retry-After when the client or the queue is over budget.
+func (a *API) submitJob(w http.ResponseWriter, r *http.Request) {
+	if a.limiter != nil {
+		if ok, retry := a.limiter.Allow(clientID(r)); !ok {
+			w.Header().Set("Retry-After", fmtRetryAfter(retry))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "submission rate exceeded"})
+			return
+		}
+	}
+	var spec exp.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec: " + err.Error()})
+		return
+	}
+	points, err := PointCount(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if depth := a.queue.Depth(); depth+points > a.maxQueue {
+		// The queue cannot absorb this sweep right now. Retry once the
+		// backlog has had a chance to drain.
+		w.Header().Set("Retry-After", fmtRetryAfter(backlogRetry))
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Error: "queue backlog full; retry later",
+		})
+		return
+	}
+	job, created, err := a.registry.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrBacklog) {
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", fmtRetryAfter(backlogRetry))
+		}
+		writeJSON(w, code, apiError{Error: err.Error()})
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, job.Status())
+}
+
+func (a *API) listJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.registry.List())
+}
+
+func (a *API) jobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := a.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// jobRecords streams the job's completed records as JSONL in spec
+// order — the same order and encoding the pool path's JSONL sink
+// produces. ?wait=1 blocks on each not-yet-resolved point (until the
+// client goes away); without it only the resolved prefix-so-far is
+// reported. Errored points are skipped: their absence, with the error
+// count in the status endpoint, is the signal.
+func (a *API) jobRecords(w http.ResponseWriter, r *http.Request) {
+	job, ok := a.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; i < job.size(); i++ {
+		var p jobPoint
+		if wait {
+			var ok bool
+			if p, ok = job.await(r.Context(), i); !ok {
+				return // client gave up
+			}
+		} else if p = job.point(i); !p.done {
+			continue
+		}
+		if p.err != nil {
+			continue
+		}
+		if enc.Encode(p.rec) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// serviceStats is the /v1/store/stats payload.
+type serviceStats struct {
+	Store StoreStats `json:"store"`
+	Queue QueueStats `json:"queue"`
+}
+
+func (a *API) storeStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, serviceStats{
+		Store: a.store.Stats(),
+		Queue: a.queue.Stats(),
+	})
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dapper/internal/exp"
+	"dapper/internal/harness"
+	"dapper/internal/sim"
+)
+
+// newTestService stands up the full stack over a temp store dir.
+func newTestService(t *testing.T, limiter *Limiter, maxQueue int) (*httptest.Server, *Store, *Queue) {
+	t.Helper()
+	store, err := NewStore(StoreOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(QueueOptions{Store: store, Workers: 2, MaxQueue: maxQueue,
+		Poll: 5 * time.Millisecond})
+	api := NewAPI(APIOptions{
+		Store:    store,
+		Queue:    q,
+		Registry: NewRegistry(q),
+		Limiter:  limiter,
+	})
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		q.Stop(context.Background())
+		store.Close()
+	})
+	return srv, store, q
+}
+
+func postSpec(t *testing.T, url string, spec exp.SweepSpec) (*http.Response, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status JobStatus
+	json.NewDecoder(resp.Body).Decode(&status) //nolint:errcheck // error bodies are not JobStatus
+	return resp, status
+}
+
+// TestAPIEndToEnd drives a real tiny sweep through the HTTP surface
+// and then proves the streamed records byte-match an independent pool
+// run of the same request — the record-fabric contract.
+func TestAPIEndToEnd(t *testing.T) {
+	srv, _, _ := newTestService(t, nil, 0)
+	spec := exp.SweepSpec{
+		Trackers:  []string{"none", "hydra"},
+		Workloads: []string{"429.mcf"},
+		NRHs:      []uint32{500},
+		Profile:   "tiny",
+	}
+
+	resp, status := postSpec(t, srv.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if status.Total != 2 || status.ID == "" {
+		t.Fatalf("status = %+v", status)
+	}
+
+	// Stream with wait=1: the response must block until every point
+	// resolves, then carry one JSONL record per point in spec order.
+	rresp, err := http.Get(srv.URL + "/v1/jobs/" + status.ID + "/records?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if ct := rresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("records content-type = %q", ct)
+	}
+	var got []harness.Record
+	sc := bufio.NewScanner(rresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec harness.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record line: %v\n%s", err, sc.Text())
+		}
+		got = append(got, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent ground truth: the pool path, fresh cache.
+	req, err := spec.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := harness.NewMemorySink()
+	pool := harness.NewPool(harness.Options{Workers: 2, Sinks: []harness.Sink{mem}})
+	for _, j := range jobs {
+		pool.Submit(j)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := mem.Records()
+
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d records, pool path has %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		// Elapsed is wall time and differs by construction; Cached may
+		// too. Everything else must match bytewise.
+		g.Elapsed, w.Elapsed = 0, 0
+		g.Cached, w.Cached = false, false
+		gj, _ := json.Marshal(g)
+		wj, _ := json.Marshal(w)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("record %d differs:\nserve: %s\npool:  %s", i, gj, wj)
+		}
+	}
+
+	// Status has converged.
+	sresp, err := http.Get(srv.URL + "/v1/jobs/" + status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final JobStatus
+	json.NewDecoder(sresp.Body).Decode(&final) //nolint:errcheck
+	sresp.Body.Close()
+	if final.State != JobDone || final.Completed != 2 || final.Errors != 0 {
+		t.Fatalf("final status = %+v", final)
+	}
+
+	// Resubmitting the same sweep dedups onto the same job: 200, same
+	// id, and nothing re-simulated.
+	resp2, status2 := postSpec(t, srv.URL, spec)
+	if resp2.StatusCode != http.StatusOK || status2.ID != status.ID {
+		t.Fatalf("resubmit: status %d id %s (want 200, %s)", resp2.StatusCode, status2.ID, status.ID)
+	}
+
+	// The job list knows it.
+	lresp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	json.NewDecoder(lresp.Body).Decode(&list) //nolint:errcheck
+	lresp.Body.Close()
+	if len(list) != 1 || list[0].ID != status.ID {
+		t.Fatalf("job list = %+v", list)
+	}
+
+	// Store stats are live JSON.
+	stresp, err := http.Get(srv.URL + "/v1/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats serviceStats
+	if err := json.NewDecoder(stresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	stresp.Body.Close()
+	if stats.Store.Cache.DiskEntries != 2 {
+		t.Fatalf("store stats = %+v, want 2 disk entries", stats)
+	}
+}
+
+func TestAPIRejectsBadSpecs(t *testing.T) {
+	srv, _, _ := newTestService(t, nil, 0)
+	for name, body := range map[string]string{
+		"not json":        "{",
+		"unknown tracker": `{"trackers":["bogus"],"workloads":["rep"],"nrhs":[500]}`,
+		"unknown field":   `{"trackers":["none"],"workloads":["rep"],"nrhs":[500],"frobnicate":1}`,
+		"empty":           `{}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/j0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestAPIRateLimits(t *testing.T) {
+	srv, _, _ := newTestService(t, NewLimiter(0.001, 1), 0)
+	spec := exp.SweepSpec{Trackers: []string{"none"}, Workloads: []string{"429.mcf"},
+		NRHs: []uint32{500}, Profile: "tiny"}
+	resp, _ := postSpec(t, srv.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+	resp2, _ := postSpec(t, srv.URL, spec)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", resp2.StatusCode)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestAPIBackpressure(t *testing.T) {
+	srv, _, q := newTestService(t, nil, 2)
+	// Occupy the queue so the sweep cannot fit.
+	release := make(chan struct{})
+	defer close(release)
+	if err := q.Submit(Task{Key: "blocker", Run: func() (sim.Result, error) {
+		<-release
+		return sim.Result{}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	spec := exp.SweepSpec{Trackers: []string{"none", "hydra"}, Workloads: []string{"429.mcf"},
+		NRHs: []uint32{500}, Profile: "tiny"}
+	resp, _ := postSpec(t, srv.URL, spec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (depth 1 + 2 points > max 2)", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("backpressure 429 without Retry-After")
+	}
+}

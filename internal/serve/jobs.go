@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dapper/internal/exp"
+	"dapper/internal/harness"
+	"dapper/internal/sim"
+)
+
+// JobState is the lifecycle of a submitted sweep.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"  // admitted, nothing completed yet
+	JobRunning JobState = "running" // some points completed
+	JobDone    JobState = "done"    // every point resolved
+)
+
+// JobStatus is the wire form of a job's progress.
+type JobStatus struct {
+	ID        string        `json:"id"`
+	State     JobState      `json:"state"`
+	Total     int           `json:"total"`
+	Completed int           `json:"completed"`
+	CacheHits int           `json:"cache_hits"`
+	Errors    int           `json:"errors"`
+	Spec      exp.SweepSpec `json:"spec"`
+}
+
+// jobPoint is one sweep point's slot, filled in spec order.
+type jobPoint struct {
+	rec  harness.Record
+	err  error
+	done bool
+}
+
+// Job tracks one submitted sweep: its normalized spec, and one slot
+// per point, filled as the queue resolves them. Points complete out of
+// order; readers stream them in spec order, which is exactly the order
+// the pool path's sinks would deliver.
+type Job struct {
+	id   string
+	spec exp.SweepSpec
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	points    []jobPoint
+	completed int
+	cacheHits int
+	errors    int
+}
+
+// ID returns the job's content-addressed id.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots progress.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	state := JobQueued
+	switch {
+	case j.completed == len(j.points):
+		state = JobDone
+	case j.completed > 0:
+		state = JobRunning
+	}
+	return JobStatus{
+		ID:        j.id,
+		State:     state,
+		Total:     len(j.points),
+		Completed: j.completed,
+		CacheHits: j.cacheHits,
+		Errors:    j.errors,
+		Spec:      j.spec,
+	}
+}
+
+// complete fills point i.
+func (j *Job) complete(i int, rec harness.Record, err error) {
+	j.mu.Lock()
+	if j.points[i].done {
+		j.mu.Unlock()
+		return
+	}
+	j.points[i] = jobPoint{rec: rec, err: err, done: true}
+	j.completed++
+	if err != nil {
+		j.errors++
+	} else if rec.Cached {
+		j.cacheHits++
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// await blocks until point i resolves or ctx is done; it returns the
+// point and whether it resolved.
+func (j *Job) await(ctx context.Context, i int) (jobPoint, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for !j.points[i].done {
+		if ctx.Err() != nil {
+			return jobPoint{}, false
+		}
+		j.cond.Wait()
+	}
+	return j.points[i], true
+}
+
+// point returns slot i without blocking.
+func (j *Job) point(i int) jobPoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.points[i]
+}
+
+// size returns the point count.
+func (j *Job) size() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.points)
+}
+
+// Registry owns the submitted jobs, keyed by spec identity: submitting
+// an equivalent spec twice lands on the same job (and therefore the
+// same queue tasks and store entries) instead of duplicating work.
+type Registry struct {
+	queue *Queue
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listing
+}
+
+// NewRegistry builds a registry over a queue.
+func NewRegistry(queue *Queue) *Registry {
+	return &Registry{queue: queue, jobs: make(map[string]*Job)}
+}
+
+// Submit resolves the spec, dedups against existing jobs, and enqueues
+// one task per sweep point. The bool reports whether the job is new.
+func (r *Registry) Submit(spec exp.SweepSpec) (*Job, bool, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	id, err := norm.ID()
+	if err != nil {
+		return nil, false, err
+	}
+	req, err := norm.Request()
+	if err != nil {
+		return nil, false, err
+	}
+	jobs, err := req.Jobs()
+	if err != nil {
+		return nil, false, err
+	}
+
+	r.mu.Lock()
+	if existing, ok := r.jobs[id]; ok {
+		r.mu.Unlock()
+		return existing, false, nil
+	}
+	j := &Job{id: id, spec: norm, points: make([]jobPoint, len(jobs))}
+	j.cond = sync.NewCond(&j.mu)
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	r.mu.Unlock()
+
+	for i, hj := range jobs {
+		i, hj := i, hj
+		desc := hj.Desc
+		key := desc.Key()
+		err := r.queue.Submit(Task{
+			Key: key,
+			Run: hj.Run,
+			Done: func(res sim.Result, cached bool, elapsed time.Duration, err error) {
+				j.complete(i, harness.Record{
+					Key:     key,
+					Desc:    desc,
+					Cached:  cached,
+					Elapsed: elapsed,
+					Result:  res,
+				}, err)
+			},
+		})
+		if err != nil {
+			// The queue refused (backlog or stop): fail the point so
+			// the job still converges instead of hanging forever.
+			j.complete(i, harness.Record{Key: key, Desc: desc},
+				fmt.Errorf("serve: enqueue point %d: %w", i, err))
+		}
+	}
+	return j, true, nil
+}
+
+// PointCount reports how many queue tasks the spec would submit,
+// without submitting: the API's backpressure pre-check.
+func PointCount(spec exp.SweepSpec) (int, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return 0, err
+	}
+	return len(norm.Trackers) * len(norm.Workloads) * len(norm.NRHs), nil
+}
+
+// Get returns a job by id.
+func (r *Registry) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// List returns job statuses in submission order.
+func (r *Registry) List() []JobStatus {
+	r.mu.Lock()
+	ids := make([]string, len(r.order))
+	copy(ids, r.order)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, r.jobs[id])
+	}
+	r.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	return out
+}

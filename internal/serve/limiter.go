@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiterPruneAbove bounds the bucket map: beyond this many clients,
+// Allow drops buckets that have refilled to full burst (no debt left
+// to remember).
+const limiterPruneAbove = 1024
+
+// Limiter is a per-client token bucket: each client id (the API uses
+// the remote IP) accrues rate tokens per second up to burst, and a
+// submission spends one. Clients over budget get the time until their
+// next token, which the API surfaces as Retry-After.
+type Limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter granting rate tokens/second with the
+// given burst. rate <= 0 disables limiting (Allow always succeeds).
+//
+//dapper:wallclock token refill is proportional to elapsed wall time; rate limiting never touches results
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token for client. When the bucket is empty it
+// returns false and how long until a token is available.
+func (l *Limiter) Allow(client string) (bool, time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+		l.pruneLocked(now)
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// pruneLocked drops full buckets once the map outgrows the bound;
+// a full bucket carries no state worth remembering.
+func (l *Limiter) pruneLocked(now time.Time) {
+	if len(l.buckets) <= limiterPruneAbove {
+		return
+	}
+	for id, b := range l.buckets {
+		refilled := b.tokens + now.Sub(b.last).Seconds()*l.rate
+		if refilled >= l.burst {
+			delete(l.buckets, id)
+		}
+	}
+}

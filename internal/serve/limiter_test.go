@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*Limiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := NewLimiter(rate, burst)
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l, clk := newTestLimiter(1, 3) // 1 token/s, burst 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("c")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want (0, 1s]", retry)
+	}
+	clk.advance(retry)
+	if ok, _ := l.Allow("c"); !ok {
+		t.Fatal("refused after waiting the advertised retry interval")
+	}
+	// The bucket never grows past the burst, no matter how long the
+	// client stays away.
+	clk.advance(time.Hour)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("c"); ok {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("allowed %d after a long absence, want the burst of 3", allowed)
+	}
+}
+
+func TestLimiterIsolatesClients(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("a's first request refused")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("a's second request allowed")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("b throttled by a's spending")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l, _ := newTestLimiter(0, 1)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+}
+
+func TestLimiterPrunesIdleClients(t *testing.T) {
+	l, clk := newTestLimiter(1, 2)
+	for i := 0; i < limiterPruneAbove+10; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i))
+	}
+	// Everyone refills to full burst; the next insertion prunes.
+	clk.advance(time.Hour)
+	l.Allow("fresh")
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("%d buckets survived the prune, want <= 2", n)
+	}
+}

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"dapper/internal/harness"
+	"dapper/internal/sim"
+)
+
+// ErrBacklog reports that the queue refused a submission because its
+// depth bound is exhausted; the API converts it into a 429.
+var ErrBacklog = errors.New("serve: queue backlog full")
+
+// ErrStopped reports that the queue was stopped before the task ran.
+var ErrStopped = errors.New("serve: queue stopped")
+
+const (
+	defaultMaxQueue = 4096
+	// defaultPoll is how long a worker defers a task whose key is
+	// claimed by a foreign worker before re-checking the store.
+	defaultPoll = 250 * time.Millisecond
+	// backlogRetry is the Retry-After the API suggests when the queue
+	// refuses a sweep: long enough for a few points to drain.
+	backlogRetry = 5 * time.Second
+)
+
+// Task is one sweep point. Done is invoked exactly once, from a queue
+// worker or the Stop path, with the result, whether it came from the
+// store, the wall time the run took (zero for store hits), and any
+// error.
+type Task struct {
+	Key  string
+	Run  func() (sim.Result, error)
+	Done func(res sim.Result, cached bool, elapsed time.Duration, err error)
+}
+
+// QueueOptions configures a work queue.
+type QueueOptions struct {
+	// Store arbitrates claims and memoizes results. Required.
+	Store *Store
+	// Workers is the number of worker goroutines (<=0 = 1).
+	Workers int
+	// Shards spreads the pending tasks; workers prefer their home shard
+	// and steal from the rest (<=0 = Workers).
+	Shards int
+	// MaxQueue bounds the admitted-but-incomplete task count
+	// (<=0 = 4096). Submit fails with ErrBacklog beyond it.
+	MaxQueue int
+	// Poll is the foreign-claim recheck interval (<=0 = 250ms).
+	Poll time.Duration
+	// Retry governs transient Run failures (harness.MarkTransient),
+	// mirroring the pool's policy.
+	Retry harness.RetryPolicy
+}
+
+// QueueStats is a snapshot of the queue's counters.
+type QueueStats struct {
+	Submitted  uint64 `json:"submitted"`
+	Completed  uint64 `json:"completed"`
+	StoreHits  uint64 `json:"store_hits"`
+	ClaimWaits uint64 `json:"claim_waits"`
+	Retries    uint64 `json:"retries"`
+	Errors     uint64 `json:"errors"`
+	Stopped    uint64 `json:"stopped"`
+}
+
+// Queue is a sharded work queue over a Store. Sharding by key keeps
+// workers spread across the pending set; the claim protocol keeps two
+// workers — here or in another process on the same store directory —
+// from simulating one key twice: the loser parks the task and
+// re-checks the store after the poll interval, by which time the
+// winner has usually published the result.
+type Queue struct {
+	store *Store
+	poll  time.Duration
+	max   int
+	retry harness.RetryPolicy
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	shards  [][]Task
+	queued  int // tasks sitting in shards
+	pending int // admitted and not yet Done (queued + running + parked)
+	closed  bool
+	wg      sync.WaitGroup
+	stats   QueueStats
+}
+
+// NewQueue starts the workers.
+func NewQueue(opts QueueOptions) *Queue {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	max := opts.MaxQueue
+	if max <= 0 {
+		max = defaultMaxQueue
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = defaultPoll
+	}
+	q := &Queue{
+		store:  opts.Store,
+		poll:   poll,
+		max:    max,
+		retry:  opts.Retry,
+		shards: make([][]Task, shards),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker(i % shards)
+	}
+	return q
+}
+
+// Submit admits a task. ErrBacklog when the depth bound is exhausted,
+// ErrStopped after Stop; in both cases Done is NOT called.
+func (q *Queue) Submit(t Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrStopped
+	}
+	if q.pending >= q.max {
+		return ErrBacklog
+	}
+	q.enqueueLocked(t)
+	q.pending++
+	q.stats.Submitted++
+	return nil
+}
+
+// Depth reports admitted-but-incomplete tasks: the backpressure
+// signal.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// Max returns the depth bound.
+func (q *Queue) Max() int { return q.max }
+
+// Stats snapshots the counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Stop drains the queue: no new submissions are admitted, workers
+// finish everything already queued, parked foreign-claim tasks fail
+// with ErrStopped when they resurface. If ctx expires first the
+// remaining queued tasks are failed with ErrStopped and ctx's error is
+// returned.
+func (q *Queue) Stop(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		// Fail whatever is still queued so callers unblock, then let
+		// the in-flight runs finish in the background.
+		q.mu.Lock()
+		var orphans []Task
+		for i, shard := range q.shards {
+			orphans = append(orphans, shard...)
+			q.shards[i] = nil
+		}
+		q.queued = 0
+		q.cond.Broadcast()
+		q.mu.Unlock()
+		for _, t := range orphans {
+			q.finish(t, sim.Result{}, false, 0, ErrStopped)
+		}
+		return ctx.Err()
+	}
+}
+
+// shardFor hashes a key onto a shard.
+func (q *Queue) shardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % len(q.shards)
+}
+
+// enqueueLocked appends to the key's shard. Caller holds q.mu.
+func (q *Queue) enqueueLocked(t Task) {
+	s := q.shardFor(t.Key)
+	q.shards[s] = append(q.shards[s], t)
+	q.queued++
+	q.cond.Signal()
+}
+
+// worker drains shards, preferring home and stealing from the rest.
+func (q *Queue) worker(home int) {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for q.queued == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.queued == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		var task Task
+		for off := 0; off < len(q.shards); off++ {
+			s := (home + off) % len(q.shards)
+			if len(q.shards[s]) > 0 {
+				task = q.shards[s][0]
+				q.shards[s] = q.shards[s][1:]
+				q.queued--
+				break
+			}
+		}
+		q.mu.Unlock()
+		q.execute(task)
+	}
+}
+
+// execute resolves one task: store hit, else claim-and-run, else park
+// behind the foreign claim.
+//
+//dapper:wallclock elapsed-time measurement for Record.Elapsed and the foreign-claim poll timer; results are untouched
+func (q *Queue) execute(t Task) {
+	if res, ok := q.store.Get(t.Key); ok {
+		q.bump(func(s *QueueStats) { s.StoreHits++ })
+		q.finish(t, res, true, 0, nil)
+		return
+	}
+	if !q.store.Claim(t.Key) {
+		// A foreign worker owns this key. Park the task and re-check
+		// once the poll interval passes; the store hit above will
+		// normally resolve it then.
+		q.bump(func(s *QueueStats) { s.ClaimWaits++ })
+		time.AfterFunc(q.poll, func() { q.requeue(t) })
+		return
+	}
+	// Winning the claim may mean the previous owner just published and
+	// released between our Get and Claim — re-check before paying for
+	// a simulation.
+	if res, ok := q.store.Get(t.Key); ok {
+		q.store.Release(t.Key)
+		q.bump(func(s *QueueStats) { s.StoreHits++ })
+		q.finish(t, res, true, 0, nil)
+		return
+	}
+	start := time.Now()
+	res, err := q.runWithRetry(t)
+	elapsed := time.Since(start)
+	if err != nil {
+		q.store.Release(t.Key)
+		q.finish(t, sim.Result{}, false, elapsed, err)
+		return
+	}
+	if perr := q.store.Put(t.Key, res); perr != nil {
+		// The result is still good — deliver it; only persistence
+		// failed.
+		q.finish(t, res, false, elapsed, nil)
+		return
+	}
+	q.finish(t, res, false, elapsed, nil)
+}
+
+// runWithRetry applies the transient-retry policy to one run.
+//
+//dapper:wallclock retry backoff sleeps between attempts; deterministic results are unaffected
+func (q *Queue) runWithRetry(t Task) (sim.Result, error) {
+	res, err := t.Run()
+	for attempt := 0; attempt < q.retry.Attempts && err != nil && harness.IsTransient(err); attempt++ {
+		q.bump(func(s *QueueStats) { s.Retries++ })
+		time.Sleep(q.retry.Backoff << uint(attempt))
+		res, err = t.Run()
+	}
+	return res, err
+}
+
+// requeue returns a parked task to its shard, or fails it when the
+// queue has been stopped meanwhile.
+func (q *Queue) requeue(t Task) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.finish(t, sim.Result{}, false, 0, ErrStopped)
+		return
+	}
+	q.enqueueLocked(t)
+	q.mu.Unlock()
+}
+
+// finish completes a task exactly once and releases its pending slot.
+func (q *Queue) finish(t Task, res sim.Result, cached bool, elapsed time.Duration, err error) {
+	if t.Done != nil {
+		t.Done(res, cached, elapsed, err)
+	}
+	q.mu.Lock()
+	q.pending--
+	q.stats.Completed++
+	if err != nil {
+		q.stats.Errors++
+		if errors.Is(err, ErrStopped) {
+			q.stats.Stopped++
+		}
+	}
+	q.mu.Unlock()
+}
+
+// bump applies a counter mutation under the lock.
+func (q *Queue) bump(f func(*QueueStats)) {
+	q.mu.Lock()
+	f(&q.stats)
+	q.mu.Unlock()
+}

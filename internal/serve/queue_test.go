@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dapper/internal/harness"
+	"dapper/internal/sim"
+)
+
+// collector gathers Done callbacks for assertions.
+type collector struct {
+	mu   sync.Mutex
+	done map[string]error
+	res  map[string]sim.Result
+	hits map[string]bool
+	wg   sync.WaitGroup
+}
+
+func newCollector() *collector {
+	return &collector{
+		done: make(map[string]error),
+		res:  make(map[string]sim.Result),
+		hits: make(map[string]bool),
+	}
+}
+
+func (c *collector) task(key string, run func() (sim.Result, error)) Task {
+	c.wg.Add(1)
+	return Task{Key: key, Run: run, Done: func(res sim.Result, cached bool, _ time.Duration, err error) {
+		c.mu.Lock()
+		c.done[key] = err
+		c.res[key] = res
+		c.hits[key] = cached
+		c.mu.Unlock()
+		c.wg.Done()
+	}}
+}
+
+func TestQueueRunsAndMemoizes(t *testing.T) {
+	store, err := NewStore(StoreOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	q := NewQueue(QueueOptions{Store: store, Workers: 4})
+	defer q.Stop(context.Background())
+
+	var runs atomic.Int64
+	c := newCollector()
+	if err := q.Submit(c.task("k1", func() (sim.Result, error) {
+		runs.Add(1)
+		return testRes(1), nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	c.wg.Wait()
+
+	// Same key again: the store, not the Run func, must answer.
+	if err := q.Submit(c.task("k1", func() (sim.Result, error) {
+		runs.Add(1)
+		return testRes(99), nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	c.wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("ran %d times, want 1", runs.Load())
+	}
+	if !c.hits["k1"] || c.res["k1"].IPC[0] != 1 {
+		t.Fatalf("second submit: cached=%v res=%+v", c.hits["k1"], c.res["k1"])
+	}
+	if st := q.Stats(); st.StoreHits != 1 || st.Completed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueBacklogBound(t *testing.T) {
+	store, err := NewStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(QueueOptions{Store: store, Workers: 1, MaxQueue: 3})
+	defer q.Stop(context.Background())
+
+	release := make(chan struct{})
+	c := newCollector()
+	for i := 0; i < 3; i++ {
+		if err := q.Submit(c.task(fmt.Sprintf("k%d", i), func() (sim.Result, error) {
+			<-release
+			return testRes(1), nil
+		})); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := q.Submit(c.task("overflow", nil)); err != ErrBacklog {
+		t.Fatalf("overflow submit: err = %v, want ErrBacklog", err)
+	}
+	c.wg.Done() // the overflow task will never run; retire its waiter
+	if q.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", q.Depth())
+	}
+	close(release)
+	c.wg.Wait()
+}
+
+// TestQueueSharedStoreCooperation: two queues in one process over one
+// store directory (the two-daemon scenario). Every key must be
+// simulated exactly once, and both sides must see every result.
+func TestQueueSharedStoreCooperation(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (*Store, *Queue) {
+		s, err := NewStore(StoreOptions{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, NewQueue(QueueOptions{Store: s, Workers: 2, Poll: 5 * time.Millisecond})
+	}
+	sa, qa := mk()
+	sb, qb := mk()
+	defer func() {
+		qa.Stop(context.Background())
+		qb.Stop(context.Background())
+		sa.Close()
+		sb.Close()
+	}()
+
+	var runs atomic.Int64
+	ca, cb := newCollector(), newCollector()
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		i := i
+		key := fmt.Sprintf("key-%d", i)
+		run := func() (sim.Result, error) {
+			runs.Add(1)
+			time.Sleep(2 * time.Millisecond) //dapper:wallclock widen the race window in a scheduling test
+			return testRes(float64(i)), nil
+		}
+		if err := qa.Submit(ca.task(key, run)); err != nil {
+			t.Fatal(err)
+		}
+		if err := qb.Submit(cb.task(key, run)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ca.wg.Wait()
+	cb.wg.Wait()
+
+	if got := runs.Load(); got != keys {
+		t.Fatalf("ran %d simulations for %d keys: claims failed to dedup", got, keys)
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		for name, c := range map[string]*collector{"a": ca, "b": cb} {
+			if err := c.done[key]; err != nil {
+				t.Fatalf("queue %s key %s: %v", name, key, err)
+			}
+			if c.res[key].IPC[0] != float64(i) {
+				t.Fatalf("queue %s key %s: res = %+v", name, key, c.res[key])
+			}
+		}
+	}
+}
+
+func TestQueueRetriesTransient(t *testing.T) {
+	store, err := NewStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(QueueOptions{Store: store, Workers: 1,
+		Retry: harness.RetryPolicy{Attempts: 3, Backoff: time.Millisecond}})
+	defer q.Stop(context.Background())
+
+	var attempts atomic.Int64
+	c := newCollector()
+	if err := q.Submit(c.task("flaky", func() (sim.Result, error) {
+		if attempts.Add(1) < 3 {
+			return sim.Result{}, harness.MarkTransient(fmt.Errorf("hiccup"))
+		}
+		return testRes(5), nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	c.wg.Wait()
+	if c.done["flaky"] != nil || attempts.Load() != 3 {
+		t.Fatalf("err=%v attempts=%d", c.done["flaky"], attempts.Load())
+	}
+	if st := q.Stats(); st.Retries != 2 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueStopFailsLatecomers(t *testing.T) {
+	store, err := NewStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(QueueOptions{Store: store, Workers: 1})
+	if err := q.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Task{Key: "late"}); err != ErrStopped {
+		t.Fatalf("post-stop submit: err = %v, want ErrStopped", err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package serve implements the sweep service behind cmd/dapper-serve:
+// a persistent content-addressed result store (a disk-backed
+// harness.Cache plus a cross-process claim protocol), a sharded work
+// queue that lets N workers — in one process or several sharing the
+// store directory — drain a sweep cooperatively, a per-client rate
+// limiter, and the HTTP/JSON job API that ties them together. Results
+// flowing through the service are the same harness.Record objects the
+// pool path emits, keyed by the same harness.Descriptor keys, so a
+// sweep submitted over HTTP and a sweep run locally populate and
+// consume one store.
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dapper/internal/harness"
+	"dapper/internal/sim"
+)
+
+// DefaultClaimTTL is how long a claim may sit before another process
+// treats its owner as dead and breaks it. Claims are held for the
+// duration of one simulation, so the TTL trades duplicated work after
+// a crash against how long a point can be starved by a corpse.
+const DefaultClaimTTL = 10 * time.Minute
+
+// StoreOptions configures a result store.
+type StoreOptions struct {
+	// Dir backs the store with a shared cache directory; "" keeps it
+	// memory-only (claims then coordinate only within this process).
+	Dir string
+	// MaxMemEntries / MaxDiskBytes / EvictionGrace pass through to the
+	// underlying harness.Cache tiers.
+	MaxMemEntries int
+	MaxDiskBytes  int64
+	EvictionGrace time.Duration
+	// ClaimTTL is the stale-claim break threshold (0 = DefaultClaimTTL).
+	ClaimTTL time.Duration
+}
+
+// StoreStats is a snapshot of the store: the cache tiers plus the
+// claim protocol's counters.
+type StoreStats struct {
+	Cache        harness.CacheStats `json:"cache"`
+	ActiveClaims int                `json:"active_claims"`
+	Claimed      uint64             `json:"claimed"`
+	ClaimDenied  uint64             `json:"claim_denied"`
+	StaleBroken  uint64             `json:"stale_broken"`
+}
+
+// Store is the content-addressed result fabric: Get/Put delegate to a
+// harness.Cache (versioned envelopes, quarantine, LRU tiers), and
+// Claim/Release arbitrate which worker simulates a missing key. Within
+// a process claims are a map; across processes sharing Dir they are
+// O_EXCL claim files, so two dapper-serve instances pointed at one
+// directory split a sweep instead of duplicating it.
+type Store struct {
+	cache *harness.Cache
+	ttl   time.Duration
+
+	mu          sync.Mutex
+	claims      map[string]time.Time
+	claimed     uint64
+	claimDenied uint64
+	staleBroken uint64
+}
+
+// claimFile is the on-disk claim marker's content, for postmortems
+// only — staleness is judged by the file's mtime.
+type claimFile struct {
+	PID int `json:"pid"`
+}
+
+// NewStore opens (or creates) a result store.
+func NewStore(opts StoreOptions) (*Store, error) {
+	cache, err := harness.NewCacheOpts(harness.CacheOptions{
+		Dir:           opts.Dir,
+		MaxMemEntries: opts.MaxMemEntries,
+		MaxDiskBytes:  opts.MaxDiskBytes,
+		EvictionGrace: opts.EvictionGrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ttl := opts.ClaimTTL
+	if ttl <= 0 {
+		ttl = DefaultClaimTTL
+	}
+	return &Store{
+		cache:  cache,
+		ttl:    ttl,
+		claims: make(map[string]time.Time),
+	}, nil
+}
+
+// Get returns the stored result for key.
+func (s *Store) Get(key string) (sim.Result, bool) { return s.cache.Get(key) }
+
+// Put stores a result and releases any claim this process holds on the
+// key: publishing the result is what the claim existed to protect.
+func (s *Store) Put(key string, res sim.Result) error {
+	err := s.cache.Put(key, res)
+	s.Release(key)
+	return err
+}
+
+// Claim attempts to take ownership of simulating key. False means
+// another worker — possibly in another process — holds a live claim;
+// callers should re-check Get after a poll interval rather than
+// duplicate the run. A claim older than the TTL is presumed orphaned
+// by a crash and is broken.
+//
+//dapper:wallclock claim staleness is judged by wall-clock age; claims guard scheduling, never results
+func (s *Store) Claim(key string) bool {
+	now := time.Now()
+	s.mu.Lock()
+	if taken, ok := s.claims[key]; ok && now.Sub(taken) < s.ttl {
+		s.claimDenied++
+		s.mu.Unlock()
+		return false
+	}
+	// Take (or re-take, if stale) the in-process claim first so two
+	// goroutines cannot both win the file race below.
+	s.claims[key] = now
+	s.mu.Unlock()
+
+	if dir := s.cache.Dir(); dir != "" {
+		if !s.claimFileCreate(key) {
+			s.mu.Lock()
+			delete(s.claims, key)
+			s.claimDenied++
+			s.mu.Unlock()
+			return false
+		}
+	}
+	s.mu.Lock()
+	s.claimed++
+	s.mu.Unlock()
+	return true
+}
+
+// claimFileCreate takes the cross-process claim file, breaking a stale
+// one once.
+//
+//dapper:wallclock claim-file mtime age decides staleness; scheduling metadata only
+func (s *Store) claimFileCreate(key string) bool {
+	path := s.claimPath(key)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			data, _ := json.Marshal(claimFile{PID: os.Getpid()})
+			f.Write(data) //nolint:errcheck // marker content is advisory
+			f.Close()
+			return true
+		}
+		info, statErr := os.Stat(path)
+		if statErr != nil {
+			// Raced with a release: try once more.
+			continue
+		}
+		if time.Since(info.ModTime()) < s.ttl {
+			return false
+		}
+		// Stale claim: its owner died mid-run. Break it and retry the
+		// exclusive create (someone else may break it first — that is
+		// fine, the retry loses cleanly).
+		os.Remove(path)
+		s.mu.Lock()
+		s.staleBroken++
+		s.mu.Unlock()
+	}
+	return false
+}
+
+// Release drops a claim taken by Claim. Safe to call for keys this
+// process never claimed.
+func (s *Store) Release(key string) {
+	s.mu.Lock()
+	_, held := s.claims[key]
+	delete(s.claims, key)
+	s.mu.Unlock()
+	if held {
+		if dir := s.cache.Dir(); dir != "" {
+			os.Remove(s.claimPath(key))
+		}
+	}
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Cache:        s.cache.Stats(),
+		ActiveClaims: len(s.claims),
+		Claimed:      s.claimed,
+		ClaimDenied:  s.claimDenied,
+		StaleBroken:  s.staleBroken,
+	}
+}
+
+// Dir returns the backing directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.cache.Dir() }
+
+// Close releases every claim this process still holds and checkpoints
+// the cache index, so a graceful daemon stop leaves the shared
+// directory clean for the surviving instances.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.claims))
+	for key := range s.claims {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	s.mu.Unlock()
+	for _, key := range keys {
+		s.Release(key)
+	}
+	return s.cache.Close()
+}
+
+func (s *Store) claimPath(key string) string {
+	return filepath.Join(s.cache.Dir(), key+".claim")
+}
+
+// fmtRetryAfter renders a duration as the integer seconds HTTP's
+// Retry-After header wants, rounding up so clients never retry early.
+func fmtRetryAfter(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dapper/internal/sim"
+)
+
+func testRes(v float64) sim.Result {
+	return sim.Result{IPC: []float64{v}, Cycles: int64(v * 1000)}
+}
+
+func TestStoreClaimWithinProcess(t *testing.T) {
+	s, err := NewStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Claim("k1") {
+		t.Fatal("first claim refused")
+	}
+	if s.Claim("k1") {
+		t.Fatal("second claim on a held key succeeded")
+	}
+	if !s.Claim("k2") {
+		t.Fatal("unrelated key blocked")
+	}
+	s.Release("k1")
+	if !s.Claim("k1") {
+		t.Fatal("claim after release refused")
+	}
+	st := s.Stats()
+	if st.Claimed != 3 || st.ClaimDenied != 1 || st.ActiveClaims != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestStoreClaimAcrossInstances: two stores on one directory model two
+// dapper-serve processes. A claim in one must exclude the other until
+// released — or until the claim goes stale.
+func TestStoreClaimAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if !a.Claim("k") {
+		t.Fatal("a's claim refused")
+	}
+	if b.Claim("k") {
+		t.Fatal("b claimed a key a holds")
+	}
+	a.Release("k")
+	if !b.Claim("k") {
+		t.Fatal("b's claim refused after a released")
+	}
+	// Put publishes the result and implicitly releases b's claim.
+	if err := b.Put("k", testRes(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k.claim")); !os.IsNotExist(err) {
+		t.Fatalf("claim file survived Put: %v", err)
+	}
+	if res, ok := a.Get("k"); !ok || res.IPC[0] != 1 {
+		t.Fatalf("a cannot read b's result: ok=%v res=%+v", ok, res)
+	}
+}
+
+// TestStoreStaleClaimBroken: a claim whose owner crashed must not
+// starve the key forever — after the TTL any worker may break it.
+func TestStoreStaleClaimBroken(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewStore(StoreOptions{Dir: dir, ClaimTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewStore(StoreOptions{Dir: dir, ClaimTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if !a.Claim("k") {
+		t.Fatal("claim refused")
+	}
+	// Simulate a's crash: age the claim file beyond the TTL. a's
+	// in-process state is irrelevant to b, which only sees the file.
+	old := time.Now().Add(-2 * time.Minute) //dapper:wallclock test ages a claim file
+	if err := os.Chtimes(filepath.Join(dir, "k.claim"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Claim("k") {
+		t.Fatal("stale claim not broken")
+	}
+	if st := b.Stats(); st.StaleBroken != 1 {
+		t.Fatalf("stats = %+v, want one stale break", st)
+	}
+	// A fresh foreign claim is still respected.
+	if a.Claim("other") && b.Claim("other") {
+		t.Fatal("fresh claim broken")
+	}
+}
+
+// TestStoreCloseReleasesClaims: a graceful stop must not leave claim
+// files behind to stall the surviving instances for a full TTL.
+func TestStoreCloseReleasesClaims(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if !s.Claim(k) {
+			t.Fatalf("claim %s refused", k)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.claim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("claim files survived Close: %v", entries)
+	}
+}
